@@ -1,0 +1,324 @@
+// Package namecoherence holds the top-level benchmark harness: one
+// benchmark per experiment table (E1..E10, A1, A3 — see DESIGN.md and
+// EXPERIMENTS.md) plus the microbenchmark ablations (A2: resolution cost
+// vs. path depth; name-server round-trips with and without caching).
+package namecoherence
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/experiments"
+	"namecoherence/internal/nameserver"
+	"namecoherence/internal/netsim"
+	"namecoherence/internal/pqi"
+	"namecoherence/internal/remote"
+)
+
+// benchTable runs a table-producing experiment once per iteration.
+func benchTable(b *testing.B, build func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1SourcesByRules(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E1(experiments.DefaultE1()), nil
+	})
+}
+
+func BenchmarkE2ContextSelection(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E2(experiments.DefaultE2()), nil
+	})
+}
+
+func BenchmarkE3Newcastle(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E3(experiments.DefaultE3())
+	})
+}
+
+func BenchmarkE4SharedGraph(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E4(experiments.DefaultE4())
+	})
+}
+
+func BenchmarkE5Federation(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E5(experiments.DefaultE5())
+	})
+}
+
+func BenchmarkE6EmbeddedNames(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E6(experiments.DefaultE6())
+	})
+}
+
+func BenchmarkE7PQIRenumber(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E7(experiments.DefaultE7())
+	})
+}
+
+func BenchmarkE8PerProcess(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E8(experiments.DefaultE8())
+	})
+}
+
+func BenchmarkE9WeakCoherence(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E9(experiments.DefaultE9())
+	})
+}
+
+func BenchmarkE10ScopedSpaces(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E10(experiments.DefaultE10())
+	})
+}
+
+func BenchmarkE12BoundaryTranslation(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E12(experiments.DefaultE12())
+	})
+}
+
+func BenchmarkE11ReplicatedService(b *testing.B) {
+	cfg := experiments.DefaultE11()
+	cfg.ReplicaCounts = []int{2}
+	cfg.Resolutions = 8
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E11(cfg)
+	})
+}
+
+func BenchmarkE13ForkDivergence(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.E13(experiments.DefaultE13())
+	})
+}
+
+func BenchmarkA1NameServerCaching(b *testing.B) {
+	cfg := experiments.DefaultA1()
+	cfg.Lookups = 500 // keep individual iterations short
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.A1(cfg)
+	})
+}
+
+func BenchmarkA3QualificationLevels(b *testing.B) {
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.A3(experiments.DefaultA3())
+	})
+}
+
+func BenchmarkA5RootBottleneck(b *testing.B) {
+	cfg := experiments.DefaultA5()
+	cfg.Lookups = 1000 // keep individual iterations short
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.A5(cfg)
+	})
+}
+
+func BenchmarkA4CacheChurn(b *testing.B) {
+	cfg := experiments.DefaultA4()
+	cfg.Lookups = 300 // keep individual iterations short
+	benchTable(b, func() (*experiments.Table, error) {
+		return experiments.A4(cfg)
+	})
+}
+
+// BenchmarkA2ResolveDepth measures compound-name resolution cost as a
+// function of path depth (ablation A2).
+func BenchmarkA2ResolveDepth(b *testing.B) {
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			w := core.NewWorld()
+			tr := dirtree.New(w, "root")
+			p := make(core.Path, depth)
+			for i := 0; i < depth; i++ {
+				p[i] = core.Name(fmt.Sprintf("d%02d", i))
+			}
+			if _, err := tr.MkdirAll(p); err != nil {
+				b.Fatal(err)
+			}
+			rootCtx := tr.RootContext()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Resolve(rootCtx, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA2ResolveFanout measures resolution cost against directory
+// fan-out (the map-lookup regime of wide directories).
+func BenchmarkA2ResolveFanout(b *testing.B) {
+	for _, fanout := range []int{4, 64, 1024} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			w := core.NewWorld()
+			tr := dirtree.New(w, "root")
+			for i := 0; i < fanout; i++ {
+				if _, err := tr.Create(core.ParsePath(fmt.Sprintf("dir/f%05d", i)), "x"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p := core.ParsePath(fmt.Sprintf("dir/f%05d", fanout/2))
+			rootCtx := tr.RootContext()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Resolve(rootCtx, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNameServerRoundTrip measures one remote resolution over a
+// net.Pipe, with and without the client cache (the raw cost A1 aggregates).
+func BenchmarkNameServerRoundTrip(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := core.NewWorld()
+			tr := dirtree.New(w, "export")
+			if _, err := tr.Create(core.ParsePath("usr/bin/ls"), "x"); err != nil {
+				b.Fatal(err)
+			}
+			server := nameserver.NewServer(w, tr.RootContext())
+			serverEnd, clientEnd := net.Pipe()
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				server.ServeConn(serverEnd)
+			}()
+			var opts []nameserver.ClientOption
+			if cached {
+				opts = append(opts, nameserver.WithCache(16))
+			}
+			client := nameserver.NewClient(clientEnd, opts...)
+			p := core.ParsePath("usr/bin/ls")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Resolve(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = client.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkRemoteResolve compares in-process resolution of a cross-machine
+// name against resolution through the target machine's name server over
+// TCP loopback, with and without the client cache.
+func BenchmarkRemoteResolve(b *testing.B) {
+	w := core.NewWorld()
+	c, err := remote.NewCluster(w, "m1", "m2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	m2, err := c.System.Machine("m2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m2.Tree.Create(core.ParsePath("etc/passwd"), "x"); err != nil {
+		b.Fatal(err)
+	}
+	const name = "/../m2/etc/passwd"
+
+	b.Run("in-process", func(b *testing.B) {
+		p, err := c.Spawn("m1", "direct")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		proc := p.Process()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := proc.Resolve(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wire-uncached", func(b *testing.B) {
+		p, err := c.Spawn("m1", "wire")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Resolve(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wire-cached", func(b *testing.B) {
+		p, err := c.Spawn("m1", "wire-cache", nameserver.WithCache(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Resolve(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPIDMap measures the R(sender) boundary mapping of one pid.
+func BenchmarkPIDMap(b *testing.B) {
+	sender := netsim.Addr{Net: 1, Mach: 2, Local: 3}
+	receiver := netsim.Addr{Net: 2, Mach: 7, Local: 1}
+	p := pqi.PID{Local: 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pqi.Map(p, sender, receiver); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContextLookup measures one simple-name resolution (the model's
+// innermost operation).
+func BenchmarkContextLookup(b *testing.B) {
+	w := core.NewWorld()
+	c := core.NewContext()
+	e := w.NewObject("o")
+	c.Bind("name", e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.Lookup("name"); got != e {
+			b.Fatal("wrong entity")
+		}
+	}
+}

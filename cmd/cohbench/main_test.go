@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnly(t *testing.T) {
+	if err := run([]string{"-only", "E9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnlyUnknown(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command namingsim builds one of the paper's naming schemes and answers
+// resolution queries against it, printing the naming graph on request.
+//
+// Usage:
+//
+//	namingsim -scheme newcastle -machines 3 -dump
+//	namingsim -scheme newcastle -from unix1 /etc/passwd /../unix2/etc/passwd
+//	namingsim -scheme andrew -clients 2 /vice/usr/shared /home/ws1/notes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"namecoherence/naming"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "namingsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("namingsim", flag.ContinueOnError)
+	scheme := fs.String("scheme", "newcastle", "scheme to build: newcastle, andrew or spec")
+	specFile := fs.String("specfile", "", "spec scheme: treespec file to build")
+	machines := fs.Int("machines", 3, "newcastle: number of machines")
+	clients := fs.Int("clients", 2, "andrew: number of client subsystems")
+	from := fs.String("from", "", "machine/client to resolve from (default: first)")
+	dump := fs.Bool("dump", false, "dump the naming graph")
+	dot := fs.Bool("dot", false, "dump the naming graph in Graphviz DOT format")
+	fsck := fs.Bool("check", false, "run the naming-graph consistency checker")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := naming.NewWorld()
+	var resolve func(name string) (naming.Entity, error)
+
+	switch *scheme {
+	case "newcastle":
+		names := make([]string, *machines)
+		for i := range names {
+			names[i] = fmt.Sprintf("unix%d", i+1)
+		}
+		s, err := naming.NewNewcastle(w, names...)
+		if err != nil {
+			return err
+		}
+		for _, mn := range names {
+			m, err := s.Machine(mn)
+			if err != nil {
+				return err
+			}
+			if _, err := m.Tree.Create(naming.ParsePath("etc/passwd"), "users@"+mn); err != nil {
+				return err
+			}
+		}
+		origin := names[0]
+		if *from != "" {
+			origin = *from
+		}
+		p, err := s.Spawn(origin, "cli")
+		if err != nil {
+			return err
+		}
+		resolve = p.Resolve
+
+	case "andrew":
+		names := make([]string, *clients)
+		for i := range names {
+			names[i] = fmt.Sprintf("ws%d", i+1)
+		}
+		s, err := naming.NewSharedNS(w, names...)
+		if err != nil {
+			return err
+		}
+		vice, err := s.AttachSpace(naming.ViceName)
+		if err != nil {
+			return err
+		}
+		if _, err := vice.Tree.Create(naming.ParsePath("usr/shared"), "shared"); err != nil {
+			return err
+		}
+		for _, cn := range names {
+			c, err := s.Client(cn)
+			if err != nil {
+				return err
+			}
+			if _, err := c.Machine.Tree.Create(naming.ParsePath("home/"+cn+"/notes"), "local"); err != nil {
+				return err
+			}
+		}
+		origin := names[0]
+		if *from != "" {
+			origin = *from
+		}
+		p, err := s.Spawn(origin, "cli")
+		if err != nil {
+			return err
+		}
+		resolve = p.Resolve
+
+	case "spec":
+		if *specFile == "" {
+			return fmt.Errorf("spec scheme needs -specfile")
+		}
+		f, err := os.Open(*specFile)
+		if err != nil {
+			return err
+		}
+		tr, err := naming.ParseTreeSpec(f, w, *specFile)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		resolve = func(name string) (naming.Entity, error) {
+			_, p := naming.SplitPathString(name)
+			return tr.Lookup(p)
+		}
+
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	if *dump {
+		if err := w.DumpGraph(out); err != nil {
+			return err
+		}
+	}
+	if *dot {
+		if err := w.DumpDot(out); err != nil {
+			return err
+		}
+	}
+	if *fsck {
+		fmt.Fprintln(out, naming.CheckWorld(w))
+	}
+	for _, name := range fs.Args() {
+		e, err := resolve(name)
+		if err != nil {
+			fmt.Fprintf(out, "%-40s -> error: %v\n", name, err)
+			continue
+		}
+		fmt.Fprintf(out, "%-40s -> %v (%s)\n", name, e, w.Label(e))
+	}
+	return nil
+}

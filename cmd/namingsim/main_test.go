@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunNewcastleQueries(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scheme", "newcastle", "-from", "unix1",
+		"/etc/passwd", "/../unix2/etc/passwd", "/nope"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "->") != 3 {
+		t.Fatalf("expected 3 result lines:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("missing error line:\n%s", out)
+	}
+}
+
+func TestRunAndrew(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "andrew", "/vice/usr/shared", "/home/ws1/notes"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "->") != 2 {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunDumpAndDotAndCheck(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "newcastle", "-machines", "2",
+		"-dump", "-dot", "-check"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph naming {", "-->", "info[cycle]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSpecScheme(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "t.spec")
+	if err := os.WriteFile(specPath, []byte("dir /x\nfile /x/y \"z\"\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "spec", "-specfile", specPath, "/x/y"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(y)") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "bogus"}, &sb); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if err := run([]string{"-scheme", "spec"}, &sb); err == nil {
+		t.Fatal("spec scheme without specfile accepted")
+	}
+	if err := run([]string{"-scheme", "spec", "-specfile", "/no/such/file"}, &sb); err == nil {
+		t.Fatal("missing specfile accepted")
+	}
+	if err := run([]string{"-scheme", "newcastle", "-from", "ghost", "/x"}, &sb); err == nil {
+		t.Fatal("unknown origin machine accepted")
+	}
+}

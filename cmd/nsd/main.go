@@ -1,0 +1,104 @@
+// Command nsd is a standalone name-server daemon: it builds a naming tree
+// from a treespec file (or a built-in demo tree) and serves resolution
+// requests over TCP until interrupted.
+//
+// Usage:
+//
+//	nsd                          # demo tree on 127.0.0.1:7474
+//	nsd -addr :9000 -spec t.spec # serve a spec file
+//	nsd -dump                    # print the served tree's spec and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/nameserver"
+	"namecoherence/internal/treespec"
+)
+
+const demoSpec = `
+dir /usr/bin
+file /usr/bin/ls "#!ls"
+file /usr/bin/cat "#!cat"
+file /etc/passwd "root:0:staff"
+file /etc/motd "welcome to nsd"
+dir /home/alice
+file /home/alice/notes "todo: read ICDCS'93"
+link /mnt /usr
+`
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nsd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7474", "listen address")
+	specPath := fs.String("spec", "", "treespec file to serve (default: built-in demo)")
+	dump := fs.Bool("dump", false, "print the served tree's spec and exit")
+	watch := fs.Bool("watch", true, "bump the revision on binding changes (coherent caches)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := core.NewWorld()
+	var tr *dirtree.Tree
+	if *specPath == "" {
+		var err error
+		tr, err = treespec.Build(demoSpec, w, "demo")
+		if err != nil {
+			return fmt.Errorf("built-in spec: %w", err)
+		}
+	} else {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		tr, err = treespec.Parse(f, w, *specPath)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+	}
+
+	if *dump {
+		return treespec.Dump(tr, os.Stdout)
+	}
+
+	server := nameserver.NewServer(w, tr.RootContext())
+	if *watch {
+		watched := server.WatchExport(tr.Root)
+		fmt.Printf("watching %d directories for binding changes\n", watched)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nsd serving on %s (interrupt to stop)\n", ln.Addr())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server.Serve(ln)
+	}()
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	<-interrupt
+	fmt.Println("shutting down")
+	server.Close()
+	<-done
+	fmt.Printf("served %d requests\n", server.Served())
+	return nil
+}

@@ -1,0 +1,68 @@
+// Command nsq queries a running nsd name server: it resolves each path
+// argument and prints the resulting entity (or error).
+//
+// Usage:
+//
+//	nsq /usr/bin/ls /etc/passwd
+//	nsq -addr 127.0.0.1:9000 -cache 16 -n 3 /usr/bin/ls
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/nameserver"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nsq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nsq", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7474", "server address")
+	cacheSize := fs.Int("cache", 0, "client cache size (0 = none)")
+	coherent := fs.Bool("coherent", false, "use the revision-tracked coherent cache")
+	repeat := fs.Int("n", 1, "resolve each path this many times")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no paths given")
+	}
+
+	var opts []nameserver.ClientOption
+	switch {
+	case *coherent && *cacheSize > 0:
+		opts = append(opts, nameserver.WithCoherentCache(*cacheSize))
+	case *cacheSize > 0:
+		opts = append(opts, nameserver.WithCache(*cacheSize))
+	}
+	client, err := nameserver.Dial("tcp", *addr, opts...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	for i := 0; i < *repeat; i++ {
+		for _, arg := range fs.Args() {
+			_, p := core.SplitPathString(arg)
+			e, err := client.Resolve(p)
+			if err != nil {
+				fmt.Printf("%-30s -> error: %v\n", arg, err)
+				continue
+			}
+			fmt.Printf("%-30s -> %v\n", arg, e)
+		}
+	}
+	if *cacheSize > 0 {
+		hits, misses := client.Stats()
+		fmt.Printf("cache: %d hits, %d misses\n", hits, misses)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Newcastle: builds the three-machine system of the paper's Figure 3 and
+// demonstrates where coherence holds and breaks, including both
+// remote-execution root policies.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"namecoherence/naming"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "newcastle:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	w := naming.NewWorld()
+	s, err := naming.NewNewcastle(w, "unix1", "unix2", "unix3")
+	if err != nil {
+		return err
+	}
+	for _, mn := range s.MachineNames() {
+		m, err := s.Machine(mn)
+		if err != nil {
+			return err
+		}
+		if _, err := m.Tree.Create(naming.ParsePath("etc/passwd"), "users@"+mn); err != nil {
+			return err
+		}
+	}
+
+	p1, err := s.Spawn("unix1", "sh")
+	if err != nil {
+		return err
+	}
+	p2, err := s.Spawn("unix2", "sh")
+	if err != nil {
+		return err
+	}
+
+	show := func(p *naming.Process, name string) {
+		e, err := p.Resolve(name)
+		if err != nil {
+			fmt.Printf("  %s on %-6s: %-28s -> error: %v\n",
+				w.Label(p.Activity), p.Machine.Name, name, err)
+			return
+		}
+		fmt.Printf("  %s on %-6s: %-28s -> %v (%s)\n",
+			w.Label(p.Activity), p.Machine.Name, name, e, w.Label(e))
+	}
+
+	fmt.Println("the same '/' name denotes different files on different machines:")
+	show(p1, "/etc/passwd")
+	show(p2, "/etc/passwd")
+
+	fmt.Println("\nnames through the super-root ('..') are coherent everywhere:")
+	show(p1, "/../unix2/etc/passwd")
+	show(p2, "/../unix2/etc/passwd")
+
+	fmt.Println("\nthe mapping rule rewrites a name for another machine:")
+	mapped, err := s.MapName("unix1", "unix2", "/etc/passwd")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  /etc/passwd on unix1 == %s on unix2\n", mapped)
+	show(p2, mapped)
+
+	fmt.Println("\nremote execution, root-of-invoker: parameters stay coherent:")
+	childInv, err := s.RemoteExec(p1, "unix2", "rx", naming.RootOfInvoker)
+	if err != nil {
+		return err
+	}
+	show(p1, "/etc/passwd")
+	show(childInv, "/etc/passwd")
+
+	fmt.Println("\nremote execution, root-of-executor: local access, no coherence:")
+	childExe, err := s.RemoteExec(p1, "unix2", "rx", naming.RootOfExecutor)
+	if err != nil {
+		return err
+	}
+	show(p1, "/etc/passwd")
+	show(childExe, "/etc/passwd")
+	return nil
+}

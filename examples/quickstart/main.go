@@ -1,0 +1,63 @@
+// Quickstart: the naming model in a dozen lines — contexts, compound names,
+// closure rules and a coherence check.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"namecoherence/naming"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	w := naming.NewWorld()
+
+	// Two activities with private contexts. Both bind "report" — to
+	// different files. Both bind "motd" to the same file.
+	alice := w.NewActivity("alice")
+	bob := w.NewActivity("bob")
+	motd := w.NewObject("motd-file")
+
+	contexts := naming.NewAssoc()
+	for _, a := range []naming.Entity{alice, bob} {
+		ctx := naming.NewContext()
+		ctx.Bind("motd", motd)
+		ctx.Bind("report", w.NewObject("report-of-"+w.Label(a)))
+		contexts.Set(a, ctx)
+	}
+
+	// The closure mechanism: resolve every name in the context of the
+	// activity performing the resolution — R(activity).
+	resolver := naming.NewResolver(w, &naming.ActivityRule{Contexts: contexts})
+	resolve := func(a naming.Entity, p naming.Path) (naming.Entity, error) {
+		return resolver.Resolve(naming.Internal(a), p)
+	}
+
+	// Probe coherence: does each name mean the same thing to both?
+	activities := []naming.Entity{alice, bob}
+	for _, name := range []string{"motd", "report"} {
+		outcome := naming.CheckName(w, resolve, activities, naming.ParsePath(name))
+		fmt.Printf("%-8s -> %s\n", name, outcome)
+	}
+
+	// Compound names resolve through context objects (directories).
+	root, rootCtx := w.NewContextObject("root")
+	_ = root
+	docs, docsCtx := w.NewContextObject("docs")
+	paper := w.NewObject("paper.txt")
+	rootCtx.Bind("docs", docs)
+	docsCtx.Bind("paper", paper)
+	e, err := w.Resolve(rootCtx, naming.ParsePath("docs/paper"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("docs/paper resolves to %v (%s)\n", e, w.Label(e))
+	return nil
+}

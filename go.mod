@@ -1,0 +1,3 @@
+module namecoherence
+
+go 1.22

@@ -1,0 +1,176 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+)
+
+func TestWorldClean(t *testing.T) {
+	w := core.NewWorld()
+	tr := dirtree.New(w, "root")
+	if _, err := tr.Create(core.ParsePath("a/b"), "x"); err != nil {
+		t.Fatal(err)
+	}
+	r := World(w)
+	if !r.OK() || len(r.Findings) != 0 {
+		t.Fatalf("clean world reported: %s", r)
+	}
+	if r.String() != "clean" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestWorldDanglingBinding(t *testing.T) {
+	w := core.NewWorld()
+	_, ctx := w.NewContextObject("dir")
+	// Bind to an entity of a different world — a dangling reference.
+	foreign := core.Entity{ID: 9999, Kind: core.KindObject}
+	ctx.Bind("ghost", foreign)
+	r := World(w)
+	if r.OK() {
+		t.Fatal("dangling binding not detected")
+	}
+	if r.Count(Error) != 1 {
+		t.Fatalf("errors = %d", r.Count(Error))
+	}
+	if !strings.Contains(r.String(), "dangling-binding") {
+		t.Fatalf("report: %s", r)
+	}
+}
+
+func TestWorldCycleReported(t *testing.T) {
+	w := core.NewWorld()
+	a, aCtx := w.NewContextObject("a")
+	b, bCtx := w.NewContextObject("b")
+	aCtx.Bind("b", b)
+	bCtx.Bind("a", a)
+	r := World(w)
+	if !r.OK() {
+		t.Fatalf("cycle should not be an error: %s", r)
+	}
+	if r.Count(Info) != 1 {
+		t.Fatalf("info = %d, report: %s", r.Count(Info), r)
+	}
+	if !strings.Contains(r.String(), "cycle") {
+		t.Fatalf("report: %s", r)
+	}
+}
+
+func TestWorldSelfLoopReported(t *testing.T) {
+	w := core.NewWorld()
+	d, ctx := w.NewContextObject("d")
+	ctx.Bind("self", d)
+	r := World(w)
+	if r.Count(Info) != 1 {
+		t.Fatalf("self-loop not reported: %s", r)
+	}
+}
+
+func TestTreeParentLinks(t *testing.T) {
+	w := core.NewWorld()
+	tr := dirtree.NewWithParentLinks(w, "root")
+	if _, err := tr.MkdirAll(core.ParsePath("a/b")); err != nil {
+		t.Fatal(err)
+	}
+	r := Tree(tr)
+	if !r.OK() || r.Count(Warn) != 0 {
+		t.Fatalf("well-formed parent links reported: %s", r)
+	}
+}
+
+func TestTreeOrphanedParentLink(t *testing.T) {
+	w := core.NewWorld()
+	tr := dirtree.NewWithParentLinks(w, "root")
+	sub, err := tr.Mkdir(nil, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the invariant by hand: point sub's ".." at an unrelated dir.
+	other, _ := w.NewContextObject("other")
+	subCtx, _ := w.ContextOf(sub)
+	subCtx.Bind(dirtree.ParentName, other)
+	r := Tree(tr)
+	if r.Count(Warn) == 0 || !strings.Contains(r.String(), "orphaned-parent-link") {
+		t.Fatalf("orphaned parent link not detected: %s", r)
+	}
+}
+
+func TestTreeMissingParentLink(t *testing.T) {
+	w := core.NewWorld()
+	tr := dirtree.NewWithParentLinks(w, "root")
+	sub, err := tr.Mkdir(nil, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subCtx, _ := w.ContextOf(sub)
+	subCtx.Unbind(dirtree.ParentName)
+	r := Tree(tr)
+	if !strings.Contains(r.String(), "missing-parent-link") {
+		t.Fatalf("missing parent link not detected: %s", r)
+	}
+}
+
+func TestTreeParentNotDirectory(t *testing.T) {
+	w := core.NewWorld()
+	tr := dirtree.NewWithParentLinks(w, "root")
+	sub, err := tr.Mkdir(nil, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := tr.Create(core.ParsePath("f"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subCtx, _ := w.ContextOf(sub)
+	subCtx.Bind(dirtree.ParentName, file)
+	r := Tree(tr)
+	if !strings.Contains(r.String(), "parent-not-directory") {
+		t.Fatalf("bad parent not detected: %s", r)
+	}
+}
+
+func TestTreeSharedEntityReported(t *testing.T) {
+	w := core.NewWorld()
+	tr := dirtree.New(w, "root")
+	f, err := tr.Create(core.ParsePath("a/file"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MkdirAll(core.PathOf("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Attach(core.PathOf("b"), "alias", f); err != nil {
+		t.Fatal(err)
+	}
+	r := Tree(tr)
+	if !strings.Contains(r.String(), "shared-entity") {
+		t.Fatalf("sharing not reported: %s", r)
+	}
+	if !r.OK() {
+		t.Fatalf("sharing must not be an error: %s", r)
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if Info.String() != "info" || Warn.String() != "warn" || Error.String() != "error" {
+		t.Fatal("severity strings wrong")
+	}
+	if Severity(0).String() != "unknown" {
+		t.Fatal("zero severity string wrong")
+	}
+}
+
+func TestTreeWithoutParentLinksNoWarnings(t *testing.T) {
+	w := core.NewWorld()
+	tr := dirtree.New(w, "root") // no parent links
+	if _, err := tr.MkdirAll(core.ParsePath("a/b/c")); err != nil {
+		t.Fatal(err)
+	}
+	r := Tree(tr)
+	if r.Count(Warn) != 0 {
+		t.Fatalf("plain tree warned: %s", r)
+	}
+}

@@ -1,0 +1,230 @@
+package coherence
+
+import (
+	"namecoherence/internal/core"
+)
+
+// Outcome classifies the meaning of one name across a set of activities.
+type Outcome int
+
+// Outcomes, from strongest to weakest.
+const (
+	// Coherent: every activity resolves the name to the same defined entity.
+	Coherent Outcome = iota + 1
+	// WeaklyCoherent: the resolved entities are replicas of the same
+	// replicated object (and not all identical).
+	WeaklyCoherent
+	// Vacuous: the name resolves to ⊥E for every activity. Formally
+	// coherent (all denote the undefined entity), reported separately.
+	Vacuous
+	// Incoherent: at least two activities resolve the name to entities
+	// that are neither equal nor replicas of each other (resolving vs. not
+	// resolving also counts as disagreement).
+	Incoherent
+)
+
+// String returns the outcome tag.
+func (o Outcome) String() string {
+	switch o {
+	case Coherent:
+		return "coherent"
+	case WeaklyCoherent:
+		return "weak"
+	case Vacuous:
+		return "vacuous"
+	case Incoherent:
+		return "incoherent"
+	default:
+		return "unknown"
+	}
+}
+
+// ResolveFunc resolves a compound name on behalf of an activity under some
+// scheme. Implementations return core.Undefined (with or without an error)
+// when the name does not resolve; errors are not themselves disagreement —
+// only the resolved entity matters.
+type ResolveFunc func(a core.Entity, p core.Path) (core.Entity, error)
+
+// CheckName classifies the coherence of one compound name across the given
+// activities under the scheme embodied by resolve.
+func CheckName(w *core.World, resolve ResolveFunc, activities []core.Entity, p core.Path) Outcome {
+	results := make([]core.Entity, len(activities))
+	allUndefined := true
+	for i, a := range activities {
+		e, _ := resolve(a, p)
+		results[i] = e
+		if !e.IsUndefined() {
+			allUndefined = false
+		}
+	}
+	if len(activities) == 0 || allUndefined {
+		return Vacuous
+	}
+
+	allEqual := true
+	for _, e := range results[1:] {
+		if e != results[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		if results[0].IsUndefined() {
+			return Vacuous
+		}
+		return Coherent
+	}
+
+	// Not all equal: weak coherence requires pairwise same-replica (which
+	// also excludes any undefined result).
+	for i := 1; i < len(results); i++ {
+		if !w.SameReplica(results[0], results[i]) {
+			return Incoherent
+		}
+	}
+	return WeaklyCoherent
+}
+
+// Report aggregates outcomes over a set of probe names.
+type Report struct {
+	// Total is the number of names probed.
+	Total int
+	// Coherent, Weak, Vacuous and Incoherent count outcomes.
+	Coherent, Weak, Vacuous, Incoherent int
+	// ByName records the outcome per probe name (keyed by Path.String()).
+	ByName map[string]Outcome
+}
+
+// Add records one outcome.
+func (r *Report) Add(p core.Path, o Outcome) {
+	if r.ByName == nil {
+		r.ByName = make(map[string]Outcome)
+	}
+	r.ByName[p.String()] = o
+	r.Total++
+	switch o {
+	case Coherent:
+		r.Coherent++
+	case WeaklyCoherent:
+		r.Weak++
+	case Vacuous:
+		r.Vacuous++
+	case Incoherent:
+		r.Incoherent++
+	}
+}
+
+// Meaningful returns the number of non-vacuous probes.
+func (r *Report) Meaningful() int { return r.Total - r.Vacuous }
+
+// StrictDegree is the fraction of meaningful probes that are strictly
+// coherent; 1 if there are no meaningful probes.
+func (r *Report) StrictDegree() float64 {
+	m := r.Meaningful()
+	if m == 0 {
+		return 1
+	}
+	return float64(r.Coherent) / float64(m)
+}
+
+// WeakDegree is the fraction of meaningful probes that are at least weakly
+// coherent; 1 if there are no meaningful probes.
+func (r *Report) WeakDegree() float64 {
+	m := r.Meaningful()
+	if m == 0 {
+		return 1
+	}
+	return float64(r.Coherent+r.Weak) / float64(m)
+}
+
+// Measure probes every path across the given activities and aggregates the
+// outcomes.
+func Measure(w *core.World, resolve ResolveFunc, activities []core.Entity, paths []core.Path) *Report {
+	r := &Report{ByName: make(map[string]Outcome, len(paths))}
+	for _, p := range paths {
+		r.Add(p, CheckName(w, resolve, activities, p))
+	}
+	return r
+}
+
+// PairMatrix records, for every pair of activities, the fraction of probe
+// names on which the two agree (same entity or same replica group; mutual
+// non-resolution also counts as agreement between the pair).
+type PairMatrix struct {
+	// Activities indexes the matrix.
+	Activities []core.Entity
+	// Agree[i][j] is the agreement fraction between Activities[i] and
+	// Activities[j]. The diagonal is 1.
+	Agree [][]float64
+}
+
+// MeasurePairs computes the pairwise agreement matrix over the probe paths.
+func MeasurePairs(w *core.World, resolve ResolveFunc, activities []core.Entity, paths []core.Path) *PairMatrix {
+	n := len(activities)
+	results := make([][]core.Entity, n)
+	for i, a := range activities {
+		results[i] = make([]core.Entity, len(paths))
+		for k, p := range paths {
+			e, _ := resolve(a, p)
+			results[i][k] = e
+		}
+	}
+	m := &PairMatrix{
+		Activities: append([]core.Entity(nil), activities...),
+		Agree:      make([][]float64, n),
+	}
+	for i := range m.Agree {
+		m.Agree[i] = make([]float64, n)
+		m.Agree[i][i] = 1
+	}
+	if len(paths) == 0 {
+		return m
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			agree := 0
+			for k := range paths {
+				ei, ej := results[i][k], results[j][k]
+				if ei == ej || w.SameReplica(ei, ej) {
+					agree++
+				}
+			}
+			frac := float64(agree) / float64(len(paths))
+			m.Agree[i][j] = frac
+			m.Agree[j][i] = frac
+		}
+	}
+	return m
+}
+
+// MinAgreement returns the smallest off-diagonal agreement fraction — the
+// weakest link in the probe set. Returns 1 for fewer than two activities.
+func (m *PairMatrix) MinAgreement() float64 {
+	minVal := 1.0
+	for i := range m.Agree {
+		for j := range m.Agree[i] {
+			if i != j && m.Agree[i][j] < minVal {
+				minVal = m.Agree[i][j]
+			}
+		}
+	}
+	return minVal
+}
+
+// MeanAgreement returns the mean off-diagonal agreement fraction. Returns 1
+// for fewer than two activities.
+func (m *PairMatrix) MeanAgreement() float64 {
+	n := len(m.Agree)
+	if n < 2 {
+		return 1
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += m.Agree[i][j]
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,20 @@
+// Package coherence defines and measures coherence in naming (§4 of the
+// paper): the property that the entity denoted by a name is the same for
+// different activities.
+//
+// The package distinguishes the paper's two grades:
+//
+//   - strict coherence: the name denotes the same entity for every activity
+//     in the probe set;
+//   - weak coherence: the name denotes replicas of the same replicated
+//     object (§5) — sufficient for replicated commands and libraries.
+//
+// Because contexts are total functions, a name that is unbound for every
+// activity denotes ⊥E everywhere and is formally coherent; such names are
+// reported separately as vacuous so that measurements are not inflated by
+// names nobody can resolve.
+//
+// Measurement is parameterized by a ResolveFunc, so any scheme — any
+// combination of closure rule and context arrangement — can be probed
+// uniformly.
+package coherence

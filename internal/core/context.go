@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// Context is the model's C = [N → E]: a function from names to entities.
+// Contexts are total: Lookup returns the undefined entity for unbound names.
+//
+// Implementations must be safe for concurrent use; schemes mutate contexts
+// while activities (goroutines) resolve through them.
+type Context interface {
+	// Lookup returns the entity the name is bound to, or Undefined.
+	Lookup(Name) Entity
+	// Bind binds name to entity, replacing any previous binding. Binding a
+	// name to Undefined is equivalent to Unbind.
+	Bind(Name, Entity)
+	// Unbind removes the binding for name, if any.
+	Unbind(Name)
+	// Names returns the bound names in sorted order.
+	Names() []Name
+	// Len returns the number of bound names.
+	Len() int
+}
+
+// BasicContext is the standard mutable Context backed by a map. The zero
+// value is not usable; construct with NewContext.
+type BasicContext struct {
+	mu       sync.RWMutex
+	bindings map[Name]Entity
+}
+
+var _ Context = (*BasicContext)(nil)
+
+// NewContext returns an empty context.
+func NewContext() *BasicContext {
+	return &BasicContext{bindings: make(map[Name]Entity)}
+}
+
+// Lookup returns the entity bound to name, or Undefined.
+func (c *BasicContext) Lookup(n Name) Entity {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.bindings[n]
+}
+
+// Bind binds name to entity. Binding to Undefined removes the binding, so
+// that Len and Names reflect only defined bindings.
+func (c *BasicContext) Bind(n Name, e Entity) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.IsUndefined() {
+		delete(c.bindings, n)
+		return
+	}
+	c.bindings[n] = e
+}
+
+// Unbind removes the binding for name.
+func (c *BasicContext) Unbind(n Name) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.bindings, n)
+}
+
+// Names returns the bound names in sorted order.
+func (c *BasicContext) Names() []Name {
+	c.mu.RLock()
+	names := make([]Name, 0, len(c.bindings))
+	for n := range c.bindings {
+		names = append(names, n)
+	}
+	c.mu.RUnlock()
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Len returns the number of bindings.
+func (c *BasicContext) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.bindings)
+}
+
+// Clone returns an independent copy of the context. Parent/child context
+// inheritance (a child "inherits the context of its parent", §5.1) is
+// modelled by cloning at fork time.
+func (c *BasicContext) Clone() *BasicContext {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d := &BasicContext{bindings: make(map[Name]Entity, len(c.bindings))}
+	for n, e := range c.bindings {
+		d.bindings[n] = e
+	}
+	return d
+}
+
+// Snapshot returns a copy of the binding map.
+func (c *BasicContext) Snapshot() map[Name]Entity {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := make(map[Name]Entity, len(c.bindings))
+	for n, e := range c.bindings {
+		m[n] = e
+	}
+	return m
+}
+
+// EqualBindings reports whether two contexts have identical binding maps.
+func EqualBindings(a, b Context) bool {
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		return false
+	}
+	for i, n := range an {
+		if n != bn[i] || a.Lookup(n) != b.Lookup(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// AgreeOn reports whether two contexts bind the given name to the same
+// entity (both unbound counts as agreement on ⊥E).
+func AgreeOn(a, b Context, n Name) bool {
+	return a.Lookup(n) == b.Lookup(n)
+}

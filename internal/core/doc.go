@@ -1,0 +1,15 @@
+// Package core implements the formal naming model of Radia & Pachl,
+// "Coherence in Naming in Distributed Computing Environments" (ICDCS 1993).
+//
+// The model distinguishes active entities (activities) from passive entities
+// (objects). Entities are denoted by names; a name is always resolved in a
+// context, which is a function from names to entities. An object whose state
+// is a context is a context object (the model's analogue of a directory), and
+// compound names resolve by recursion through context objects. The bindings
+// of all context objects form the naming graph.
+//
+// A World holds the sets of the model: entities, their kinds and states,
+// and replica groups (used by the paper's notion of weak coherence). All
+// higher layers — closure rules, coherence measurement, and the concrete
+// naming schemes the paper analyses — are built on this package.
+package core

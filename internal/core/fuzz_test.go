@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePath checks the parser's total behaviour: no panics, no empty
+// components, and re-rendering round-trips for clean inputs.
+func FuzzParsePath(f *testing.F) {
+	for _, seed := range []string{"", "/", "a/b/c", "//a//", "..", "a/./b", "/../m1/etc"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p := ParsePath(s)
+		for _, n := range p {
+			if n == "" {
+				t.Fatalf("empty component in %q -> %v", s, p)
+			}
+			if strings.Contains(string(n), Separator) {
+				t.Fatalf("separator inside component %q", n)
+			}
+		}
+		// Parse of render is identity.
+		if !ParsePath(p.String()).Equal(p) {
+			t.Fatalf("round-trip failed for %q: %v", s, p)
+		}
+		// Absoluteness detection agrees with prefix.
+		abs, q := SplitPathString(s)
+		if abs != strings.HasPrefix(s, Separator) || !q.Equal(p) {
+			t.Fatalf("SplitPathString mismatch for %q", s)
+		}
+	})
+}
+
+// FuzzResolve throws arbitrary path strings at a fixed naming graph:
+// resolution must never panic, and must fail or succeed consistently with
+// a reference walk.
+func FuzzResolve(f *testing.F) {
+	for _, seed := range []string{"usr/bin/ls", "usr", "x", "usr/bin/ls/deep", "self/x", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		w := NewWorld()
+		_, rootCtx := w.NewContextObject("root")
+		usr, usrCtx := w.NewContextObject("usr")
+		bin, binCtx := w.NewContextObject("bin")
+		ls := w.NewObject("ls")
+		act := w.NewActivity("act")
+		rootCtx.Bind("usr", usr)
+		rootCtx.Bind("self", act)
+		usrCtx.Bind("bin", bin)
+		binCtx.Bind("ls", ls)
+
+		p := ParsePath(s)
+		got, err := w.Resolve(rootCtx, p)
+
+		// Reference: step component by component.
+		var want Entity
+		var wantErr bool
+		if len(p) == 0 {
+			wantErr = true
+		} else {
+			cur := Context(rootCtx)
+			for i, n := range p {
+				e := cur.Lookup(n)
+				if e.IsUndefined() {
+					wantErr = true
+					break
+				}
+				if i == len(p)-1 {
+					want = e
+					break
+				}
+				next, ok := w.ContextOf(e)
+				if !ok {
+					wantErr = true
+					break
+				}
+				cur = next
+			}
+		}
+		if wantErr {
+			if err == nil {
+				t.Fatalf("resolve %q succeeded (%v), reference failed", s, got)
+			}
+			if !got.IsUndefined() {
+				t.Fatalf("failed resolve returned defined entity %v", got)
+			}
+			return
+		}
+		if err != nil || got != want {
+			t.Fatalf("resolve %q = (%v, %v), want %v", s, got, err, want)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphSnapshot(t *testing.T) {
+	w, _, ents := buildTree(t)
+	edges := w.Graph()
+	// 5 bindings in buildTree: usr, etc, self from root; bin from usr; ls from bin.
+	if len(edges) != 5 {
+		t.Fatalf("len(edges) = %d, want 5", len(edges))
+	}
+	found := false
+	for _, e := range edges {
+		if e.From == ents["usr"] && e.Label == "bin" && e.To == ents["bin"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing edge usr --bin--> bin")
+	}
+}
+
+func TestGraphOrdering(t *testing.T) {
+	w, _, _ := buildTree(t)
+	edges := w.Graph()
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.From.ID > b.From.ID {
+			t.Fatal("edges not ordered by From.ID")
+		}
+		if a.From.ID == b.From.ID && a.Label > b.Label {
+			t.Fatal("edges not ordered by Label within a node")
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	w, _, ents := buildTree(t)
+	seen := w.Reachable(ents["root"])
+	for _, name := range []string{"root", "usr", "bin", "etc", "ls", "act"} {
+		if !seen[ents[name].ID] {
+			t.Errorf("%s not reachable from root", name)
+		}
+	}
+	fromBin := w.Reachable(ents["bin"])
+	if fromBin[ents["root"].ID] {
+		t.Error("root should not be reachable from bin")
+	}
+	if !fromBin[ents["ls"].ID] {
+		t.Error("ls should be reachable from bin")
+	}
+}
+
+func TestReachableWithCycle(t *testing.T) {
+	w := NewWorld()
+	a, aCtx := w.NewContextObject("a")
+	b, bCtx := w.NewContextObject("b")
+	aCtx.Bind("b", b)
+	bCtx.Bind("a", a)
+	seen := w.Reachable(a)
+	if !seen[a.ID] || !seen[b.ID] {
+		t.Fatal("cycle members not all reachable")
+	}
+}
+
+func TestFindPath(t *testing.T) {
+	w, _, ents := buildTree(t)
+	tests := []struct {
+		name     string
+		from, to Entity
+		want     string
+		ok       bool
+	}{
+		{name: "root to ls", from: ents["root"], to: ents["ls"], want: "usr/bin/ls", ok: true},
+		{name: "root to bin", from: ents["root"], to: ents["bin"], want: "usr/bin", ok: true},
+		{name: "self", from: ents["root"], to: ents["root"], want: "", ok: true},
+		{name: "no path", from: ents["bin"], to: ents["etc"], ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, ok := w.FindPath(tt.from, tt.to, 10)
+			if ok != tt.ok {
+				t.Fatalf("ok = %v, want %v", ok, tt.ok)
+			}
+			if ok && p.String() != tt.want {
+				t.Fatalf("path = %q, want %q", p, tt.want)
+			}
+		})
+	}
+}
+
+func TestFindPathDepthLimit(t *testing.T) {
+	w, _, ents := buildTree(t)
+	if _, ok := w.FindPath(ents["root"], ents["ls"], 2); ok {
+		t.Fatal("found a path longer than the depth limit")
+	}
+	if _, ok := w.FindPath(ents["root"], ents["ls"], 3); !ok {
+		t.Fatal("did not find path of exactly the depth limit")
+	}
+}
+
+func TestDumpGraph(t *testing.T) {
+	w, _, _ := buildTree(t)
+	var sb strings.Builder
+	if err := w.DumpGraph(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "--usr-->") || !strings.Contains(out, "(root)") {
+		t.Fatalf("unexpected dump:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Fatalf("dump has %d lines, want 5", got)
+	}
+}
+
+func TestDumpDot(t *testing.T) {
+	w, _, _ := buildTree(t)
+	var sb strings.Builder
+	if err := w.DumpDot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph naming {", "shape=folder", "shape=box", "shape=ellipse", `label="usr"`, "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Each node declared exactly once.
+	if strings.Count(out, `label="root"`) != 1 {
+		t.Fatalf("root declared more than once:\n%s", out)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import "testing"
+
+func TestWatchedContextNotifies(t *testing.T) {
+	w := NewWorld()
+	e := w.NewObject("e")
+	var gotName Name
+	var gotEnt Entity
+	calls := 0
+	c := Watch(NewContext(), func(n Name, ent Entity) {
+		gotName, gotEnt = n, ent
+		calls++
+	})
+
+	c.Bind("x", e)
+	if calls != 1 || gotName != "x" || gotEnt != e {
+		t.Fatalf("after bind: calls=%d name=%q ent=%v", calls, gotName, gotEnt)
+	}
+	if c.Lookup("x") != e || c.Len() != 1 || len(c.Names()) != 1 {
+		t.Fatal("delegation broken")
+	}
+	c.Unbind("x")
+	if calls != 2 || !gotEnt.IsUndefined() {
+		t.Fatalf("after unbind: calls=%d ent=%v", calls, gotEnt)
+	}
+	if c.Unwrap() == nil {
+		t.Fatal("Unwrap returned nil")
+	}
+}
+
+func TestWatchedContextResolvesNormally(t *testing.T) {
+	w := NewWorld()
+	dir, dirCtx := w.NewContextObject("dir")
+	leaf := w.NewObject("leaf")
+	dirCtx.Bind("leaf", leaf)
+
+	// Replace the directory's state with a watched wrapper; resolution
+	// still works through it.
+	if err := w.SetState(dir, Watch(dirCtx, func(Name, Entity) {})); err != nil {
+		t.Fatal(err)
+	}
+	root := NewContext()
+	root.Bind("dir", dir)
+	got, err := w.Resolve(root, ParsePath("dir/leaf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != leaf {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWatchReachable(t *testing.T) {
+	w := NewWorld()
+	root, rootCtx := w.NewContextObject("root")
+	sub, subCtx := w.NewContextObject("sub")
+	leaf := w.NewObject("leaf")
+	rootCtx.Bind("sub", sub)
+	subCtx.Bind("leaf", leaf)
+
+	changes := 0
+	wrapped := w.WatchReachable(root, func(Name, Entity) { changes++ })
+	if wrapped != 2 {
+		t.Fatalf("wrapped = %d, want 2 (root and sub)", wrapped)
+	}
+
+	// Mutating either directory now notifies.
+	subWatched, _ := w.ContextOf(sub)
+	subWatched.Bind("extra", leaf)
+	rootWatched, _ := w.ContextOf(root)
+	rootWatched.Unbind("sub")
+	if changes != 2 {
+		t.Fatalf("changes = %d, want 2", changes)
+	}
+
+	// Idempotent: nothing is double-wrapped. (sub is now unreachable from
+	// root after the unbind, so re-watch from sub directly.)
+	if again := w.WatchReachable(sub, func(Name, Entity) {}); again != 0 {
+		t.Fatalf("re-wrap = %d, want 0", again)
+	}
+}
+
+func TestWatchReachableSkipsActivitiesAndFiles(t *testing.T) {
+	w := NewWorld()
+	root, rootCtx := w.NewContextObject("root")
+	rootCtx.Bind("act", w.NewActivity("a"))
+	file := w.NewObject("f")
+	if err := w.SetState(file, "payload"); err != nil {
+		t.Fatal(err)
+	}
+	rootCtx.Bind("file", file)
+	if wrapped := w.WatchReachable(root, func(Name, Entity) {}); wrapped != 1 {
+		t.Fatalf("wrapped = %d, want 1 (only root)", wrapped)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// State is the model's S: the state σ(e) of an entity. Object states that
+// implement Context make the object a context object; any other value is
+// opaque to the model. A nil State is the undefined state ⊥S.
+type State interface{}
+
+// GroupID identifies a replica group within a World. Zero means "no group".
+type GroupID uint64
+
+// World holds the sets of the naming model: entities (with kind, label and
+// state) and replica groups. It is the σ function of the paper — the global
+// state of the system — plus entity identity. A World is safe for concurrent
+// use.
+type World struct {
+	mu        sync.RWMutex
+	nextID    EntityID
+	nextGroup GroupID
+	kinds     map[EntityID]Kind
+	labels    map[EntityID]string
+	states    map[EntityID]State
+	group     map[EntityID]GroupID
+	members   map[GroupID][]EntityID
+}
+
+// ErrUnknownEntity is returned for operations on entities the World does not
+// contain (including the undefined entity).
+var ErrUnknownEntity = errors.New("unknown entity")
+
+// ErrUnknownGroup is returned for operations on replica groups the World
+// does not contain.
+var ErrUnknownGroup = errors.New("unknown replica group")
+
+// NewWorld returns an empty World.
+func NewWorld() *World {
+	return &World{
+		kinds:   make(map[EntityID]Kind),
+		labels:  make(map[EntityID]string),
+		states:  make(map[EntityID]State),
+		group:   make(map[EntityID]GroupID),
+		members: make(map[GroupID][]EntityID),
+	}
+}
+
+func (w *World) newEntity(kind Kind, label string) Entity {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextID++
+	id := w.nextID
+	w.kinds[id] = kind
+	w.labels[id] = label
+	return Entity{ID: id, Kind: kind}
+}
+
+// NewActivity creates an activity (an active entity, e.g. a process).
+func (w *World) NewActivity(label string) Entity {
+	return w.newEntity(KindActivity, label)
+}
+
+// NewObject creates an object (a passive entity, e.g. a file).
+func (w *World) NewObject(label string) Entity {
+	return w.newEntity(KindObject, label)
+}
+
+// NewContextObject creates an object whose state is a fresh context — the
+// model's directory. It returns both the entity and its context.
+func (w *World) NewContextObject(label string) (Entity, *BasicContext) {
+	e := w.newEntity(KindObject, label)
+	c := NewContext()
+	w.mu.Lock()
+	w.states[e.ID] = c
+	w.mu.Unlock()
+	return e, c
+}
+
+// Exists reports whether the entity belongs to this World.
+func (w *World) Exists(e Entity) bool {
+	if e.IsUndefined() {
+		return false
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	k, ok := w.kinds[e.ID]
+	return ok && k == e.Kind
+}
+
+// SetState sets σ(e). Setting a Context state turns an object into a context
+// object. Activities may also carry state; the model keeps SA and SO
+// disjoint only conceptually.
+func (w *World) SetState(e Entity, s State) error {
+	if !w.Exists(e) {
+		return fmt.Errorf("set state of %v: %w", e, ErrUnknownEntity)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s == nil {
+		delete(w.states, e.ID)
+		return nil
+	}
+	w.states[e.ID] = s
+	return nil
+}
+
+// State returns σ(e), or nil (⊥S) if the entity has no state or is unknown.
+func (w *World) State(e Entity) State {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.states[e.ID]
+}
+
+// ContextOf returns the entity's state as a context, if it is one. Only
+// entities whose state is a Context participate in compound-name resolution.
+func (w *World) ContextOf(e Entity) (Context, bool) {
+	s := w.State(e)
+	c, ok := s.(Context)
+	return c, ok
+}
+
+// IsContextObject reports whether e is an object whose state is a context.
+func (w *World) IsContextObject(e Entity) bool {
+	if !e.IsObject() {
+		return false
+	}
+	_, ok := w.ContextOf(e)
+	return ok
+}
+
+// Label returns the debug label given at creation (or set later).
+func (w *World) Label(e Entity) string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.labels[e.ID]
+}
+
+// SetLabel replaces the entity's debug label.
+func (w *World) SetLabel(e Entity, label string) error {
+	if !w.Exists(e) {
+		return fmt.Errorf("set label of %v: %w", e, ErrUnknownEntity)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.labels[e.ID] = label
+	return nil
+}
+
+// EntityCount returns the number of entities in the World.
+func (w *World) EntityCount() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.kinds)
+}
+
+// Entities returns all entities, ordered by ID.
+func (w *World) Entities() []Entity {
+	w.mu.RLock()
+	out := make([]Entity, 0, len(w.kinds))
+	for id, k := range w.kinds {
+		out = append(out, Entity{ID: id, Kind: k})
+	}
+	w.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NewReplicaGroup registers a replica group: a set of objects o1..og whose
+// states are kept equal by the system (σ(o1) = … = σ(og) in every legal
+// state). Weak coherence (§5) is defined relative to these groups.
+func (w *World) NewReplicaGroup(members ...Entity) (GroupID, error) {
+	for _, m := range members {
+		if !w.Exists(m) {
+			return 0, fmt.Errorf("replica group member %v: %w", m, ErrUnknownEntity)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextGroup++
+	g := w.nextGroup
+	for _, m := range members {
+		w.group[m.ID] = g
+		w.members[g] = append(w.members[g], m.ID)
+	}
+	return g, nil
+}
+
+// AddReplica adds an entity to an existing replica group.
+func (w *World) AddReplica(g GroupID, e Entity) error {
+	if !w.Exists(e) {
+		return fmt.Errorf("add replica %v: %w", e, ErrUnknownEntity)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.members[g]; !ok {
+		return fmt.Errorf("add replica to group %d: %w", g, ErrUnknownGroup)
+	}
+	w.group[e.ID] = g
+	w.members[g] = append(w.members[g], e.ID)
+	return nil
+}
+
+// ReplicaGroup returns the group the entity belongs to, if any.
+func (w *World) ReplicaGroup(e Entity) (GroupID, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	g, ok := w.group[e.ID]
+	return g, ok
+}
+
+// SameReplica reports whether a and b denote the same entity or replicas of
+// the same replicated object — the agreement relation of weak coherence.
+func (w *World) SameReplica(a, b Entity) bool {
+	if a == b {
+		return !a.IsUndefined()
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	ga, oka := w.group[a.ID]
+	gb, okb := w.group[b.ID]
+	return oka && okb && ga == gb
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWorldEntityCreation(t *testing.T) {
+	w := NewWorld()
+	a := w.NewActivity("proc")
+	o := w.NewObject("file")
+	d, c := w.NewContextObject("dir")
+
+	if !a.IsActivity() || a.IsObject() {
+		t.Errorf("activity kind wrong: %v", a)
+	}
+	if !o.IsObject() || o.IsActivity() {
+		t.Errorf("object kind wrong: %v", o)
+	}
+	if !w.IsContextObject(d) {
+		t.Error("NewContextObject did not produce a context object")
+	}
+	if w.IsContextObject(o) {
+		t.Error("plain object reported as context object")
+	}
+	if c == nil {
+		t.Fatal("nil context returned")
+	}
+	if w.EntityCount() != 3 {
+		t.Errorf("EntityCount = %d, want 3", w.EntityCount())
+	}
+	if got := w.Label(a); got != "proc" {
+		t.Errorf("Label = %q, want %q", got, "proc")
+	}
+}
+
+func TestWorldIDsUnique(t *testing.T) {
+	w := NewWorld()
+	seen := make(map[EntityID]bool)
+	for i := 0; i < 100; i++ {
+		e := w.NewObject("o")
+		if seen[e.ID] {
+			t.Fatalf("duplicate entity ID %d", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestWorldExists(t *testing.T) {
+	w := NewWorld()
+	a := w.NewActivity("a")
+	if !w.Exists(a) {
+		t.Error("created entity does not exist")
+	}
+	if w.Exists(Undefined) {
+		t.Error("undefined entity exists")
+	}
+	if w.Exists(Entity{ID: 9999, Kind: KindObject}) {
+		t.Error("foreign entity exists")
+	}
+	// Wrong kind for a real ID must not exist either.
+	if w.Exists(Entity{ID: a.ID, Kind: KindObject}) {
+		t.Error("kind-mismatched entity exists")
+	}
+}
+
+func TestWorldState(t *testing.T) {
+	w := NewWorld()
+	o := w.NewObject("file")
+	if s := w.State(o); s != nil {
+		t.Errorf("fresh object state = %v, want nil", s)
+	}
+	if err := w.SetState(o, "payload"); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.State(o); s != "payload" {
+		t.Errorf("State = %v, want payload", s)
+	}
+	if _, ok := w.ContextOf(o); ok {
+		t.Error("opaque state reported as context")
+	}
+	if err := w.SetState(o, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.State(o); s != nil {
+		t.Errorf("cleared state = %v, want nil", s)
+	}
+	if err := w.SetState(Undefined, "x"); !errors.Is(err, ErrUnknownEntity) {
+		t.Errorf("SetState(undefined) err = %v, want ErrUnknownEntity", err)
+	}
+}
+
+func TestWorldSetStateToContextMakesContextObject(t *testing.T) {
+	w := NewWorld()
+	o := w.NewObject("becomes-dir")
+	c := NewContext()
+	if err := w.SetState(o, c); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.ContextOf(o)
+	if !ok || got != Context(c) {
+		t.Fatal("state-as-context not retrievable")
+	}
+}
+
+func TestWorldLabels(t *testing.T) {
+	w := NewWorld()
+	o := w.NewObject("old")
+	if err := w.SetLabel(o, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Label(o); got != "new" {
+		t.Errorf("Label = %q, want new", got)
+	}
+	if err := w.SetLabel(Undefined, "x"); !errors.Is(err, ErrUnknownEntity) {
+		t.Errorf("SetLabel(undefined) err = %v", err)
+	}
+}
+
+func TestWorldEntitiesOrdered(t *testing.T) {
+	w := NewWorld()
+	for i := 0; i < 10; i++ {
+		w.NewObject("o")
+	}
+	es := w.Entities()
+	if len(es) != 10 {
+		t.Fatalf("len(Entities) = %d", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID >= es[i].ID {
+			t.Fatal("Entities not ordered by ID")
+		}
+	}
+}
+
+func TestReplicaGroups(t *testing.T) {
+	w := NewWorld()
+	bin1 := w.NewObject("bin@m1")
+	bin2 := w.NewObject("bin@m2")
+	other := w.NewObject("other")
+
+	g, err := w.NewReplicaGroup(bin1, bin2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SameReplica(bin1, bin2) {
+		t.Error("replicas not same-replica")
+	}
+	if w.SameReplica(bin1, other) {
+		t.Error("unrelated entity same-replica")
+	}
+	if !w.SameReplica(other, other) {
+		t.Error("identity not same-replica")
+	}
+	if w.SameReplica(Undefined, Undefined) {
+		t.Error("undefined should not be same-replica with itself")
+	}
+
+	bin3 := w.NewObject("bin@m3")
+	if err := w.AddReplica(g, bin3); err != nil {
+		t.Fatal(err)
+	}
+	if !w.SameReplica(bin1, bin3) {
+		t.Error("added replica not same-replica")
+	}
+	gotG, ok := w.ReplicaGroup(bin3)
+	if !ok || gotG != g {
+		t.Errorf("ReplicaGroup = (%v, %v), want (%v, true)", gotG, ok, g)
+	}
+}
+
+func TestReplicaGroupErrors(t *testing.T) {
+	w := NewWorld()
+	o := w.NewObject("o")
+	if _, err := w.NewReplicaGroup(o, Undefined); !errors.Is(err, ErrUnknownEntity) {
+		t.Errorf("NewReplicaGroup err = %v, want ErrUnknownEntity", err)
+	}
+	if err := w.AddReplica(42, o); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("AddReplica err = %v, want ErrUnknownGroup", err)
+	}
+	if err := w.AddReplica(1, Undefined); !errors.Is(err, ErrUnknownEntity) {
+		t.Errorf("AddReplica(undefined) err = %v, want ErrUnknownEntity", err)
+	}
+}
+
+func TestDistinctReplicaGroupsDoNotMix(t *testing.T) {
+	w := NewWorld()
+	a1, a2 := w.NewObject("a1"), w.NewObject("a2")
+	b1, b2 := w.NewObject("b1"), w.NewObject("b2")
+	if _, err := w.NewReplicaGroup(a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.NewReplicaGroup(b1, b2); err != nil {
+		t.Fatal(err)
+	}
+	if w.SameReplica(a1, b1) {
+		t.Error("members of distinct groups reported same-replica")
+	}
+}

@@ -1,0 +1,11 @@
+// Package dirtree builds tree-structured file stores on the core naming
+// model: directories are context objects, files are plain objects whose
+// state is a FileData payload.
+//
+// A Tree is the model's "naming tree" (§5.1): a distinguished root context
+// object plus operations for creating directories and files, attaching
+// foreign subtrees (mounts), detaching, copying and relocating subtrees.
+// Attach is what the paper's schemes are made of: the Newcastle Connection
+// attaches machine trees under a super-root, Andrew attaches the shared
+// tree under /vice, and federations attach cross-links to remote trees.
+package dirtree

@@ -1,0 +1,22 @@
+// Package embedded implements coherence for names embedded in objects
+// (§6 Example 2 and Figure 6 of the paper).
+//
+// Names can be embedded in files to build structured objects — documents
+// whose components live in several files, programs assembled from sources.
+// The meaning of the structured object depends on the objects denoted by
+// the embedded names, so when the object is shared it is desirable for that
+// meaning to be the same for every activity.
+//
+// The resolution rule is R(file): the context used to resolve an embedded
+// name depends on the file the name was obtained from, determined by the
+// Algol scope rule — instead of nested blocks, nested subtrees. A name
+// embedded in node n is resolved using a matching binding at the closest
+// ancestor along the access path: the directories on the path are searched
+// from the innermost outward for one that binds the name's first component,
+// and the name is resolved relative to that directory.
+//
+// Under this rule the embedded name has the same meaning regardless of the
+// process accessing the file and its site of execution; the subtree can be
+// attached in several places simultaneously, relocated, or copied without
+// changing the meaning of its embedded names.
+package embedded

@@ -1,0 +1,108 @@
+package embedded
+
+import (
+	"namecoherence/internal/core"
+	"namecoherence/internal/rules"
+)
+
+// scopeContext is the Algol scope rule expressed as a virtual context: its
+// Lookup searches the access chain from the innermost directory outward
+// for a binding of the name. Because compound-name resolution only
+// consults the selected context for the *first* component and then follows
+// real context objects, resolving a whole compound name in a scopeContext
+// is exactly the R(file) rule of Figure 6.
+type scopeContext struct {
+	world *core.World
+	chain []core.Entity
+}
+
+var _ core.Context = (*scopeContext)(nil)
+
+// ScopeContext returns the virtual context in which embedded names of the
+// object at the end of chain are resolved. It is read-only: Bind and
+// Unbind are no-ops (embedded-name scopes are derived, not stored).
+func ScopeContext(w *core.World, chain []core.Entity) core.Context {
+	c := make([]core.Entity, len(chain))
+	copy(c, chain)
+	return &scopeContext{world: w, chain: c}
+}
+
+// Lookup implements core.Context: the closest enclosing binding wins.
+func (s *scopeContext) Lookup(n core.Name) core.Entity {
+	for i := len(s.chain) - 1; i >= 0; i-- {
+		ctx, ok := s.world.ContextOf(s.chain[i])
+		if !ok {
+			continue
+		}
+		if e := ctx.Lookup(n); !e.IsUndefined() {
+			return e
+		}
+	}
+	return core.Undefined
+}
+
+// Bind implements core.Context as a no-op (derived context).
+func (s *scopeContext) Bind(core.Name, core.Entity) {}
+
+// Unbind implements core.Context as a no-op (derived context).
+func (s *scopeContext) Unbind(core.Name) {}
+
+// Names implements core.Context: the union of all scope bindings,
+// innermost occluding nothing (sorted, deduplicated).
+func (s *scopeContext) Names() []core.Name {
+	seen := make(map[core.Name]bool)
+	var out []core.Name
+	for i := len(s.chain) - 1; i >= 0; i-- {
+		ctx, ok := s.world.ContextOf(s.chain[i])
+		if !ok {
+			continue
+		}
+		for _, n := range ctx.Names() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sortNames(out)
+	return out
+}
+
+// Len implements core.Context.
+func (s *scopeContext) Len() int { return len(s.Names()) }
+
+func sortNames(names []core.Name) {
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+}
+
+// FileRule is the paper's R(file) closure mechanism as a rules.Rule: names
+// obtained from an object are resolved in the object's derived scope
+// context (built from the circumstance's access trail); other sources fall
+// back to the activity's context.
+type FileRule struct {
+	// World resolves scope chains.
+	World *core.World
+	// ActivityContexts serves non-object sources.
+	ActivityContexts *rules.Assoc
+}
+
+var _ rules.Rule = (*FileRule)(nil)
+
+// Select implements rules.Rule.
+func (r *FileRule) Select(m rules.Circumstance) (core.Context, error) {
+	if m.Origin == rules.SourceObject && len(m.Trail) > 0 {
+		return ScopeContext(r.World, m.Trail), nil
+	}
+	ctx, ok := r.ActivityContexts.Get(m.Activity)
+	if !ok {
+		return nil, &rules.NoContextError{Entity: m.Activity, Rule: r.String()}
+	}
+	return ctx, nil
+}
+
+// String implements rules.Rule.
+func (r *FileRule) String() string { return "R(file)" }

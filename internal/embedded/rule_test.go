@@ -1,0 +1,142 @@
+package embedded
+
+import (
+	"testing"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/rules"
+)
+
+func TestScopeContextLookup(t *testing.T) {
+	w, tr, want := figure6(t)
+	_, trail, err := tr.LookupTrail(core.ParsePath("proj/src/n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ScopeContext(w, Chain(tr.Root, trail))
+
+	// Resolving the full compound name in the scope context equals the
+	// explicit Resolve implementation.
+	got, err := w.Resolve(sc, core.ParsePath("a/p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Unbound names are undefined.
+	if e := sc.Lookup("ghost"); !e.IsUndefined() {
+		t.Fatalf("ghost = %v", e)
+	}
+}
+
+func TestScopeContextShadowing(t *testing.T) {
+	w, tr, inner := figure6(t)
+	if _, err := tr.Create(core.ParsePath("a/p"), "outer"); err != nil {
+		t.Fatal(err)
+	}
+	_, trail, err := tr.LookupTrail(core.ParsePath("proj/src/n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ScopeContext(w, Chain(tr.Root, trail))
+	got, err := w.Resolve(sc, core.ParsePath("a/p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != inner {
+		t.Fatalf("shadowing broken: %v, want inner %v", got, inner)
+	}
+}
+
+func TestScopeContextReadOnly(t *testing.T) {
+	w, tr, _ := figure6(t)
+	_, trail, _ := tr.LookupTrail(core.ParsePath("proj/src/n"))
+	sc := ScopeContext(w, Chain(tr.Root, trail))
+	before := sc.Len()
+	sc.Bind("new", tr.Root)
+	sc.Unbind("a")
+	if sc.Len() != before {
+		t.Fatal("derived context mutated")
+	}
+}
+
+func TestScopeContextNames(t *testing.T) {
+	w, tr, _ := figure6(t)
+	if _, err := tr.Create(core.ParsePath("rootfile"), ""); err != nil {
+		t.Fatal(err)
+	}
+	_, trail, _ := tr.LookupTrail(core.ParsePath("proj/src/n"))
+	sc := ScopeContext(w, Chain(tr.Root, trail))
+	names := sc.Names()
+	// Union of proj's bindings (a, src) and root's (proj, rootfile), plus
+	// src's (n). Sorted and unique.
+	want := map[core.Name]bool{"a": true, "src": true, "proj": true, "rootfile": true, "n": true}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected name %q", n)
+		}
+		if i > 0 && names[i-1] >= n {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+// The same sweep as E1's object column, now with R(file) as a first-class
+// rule: embedded names are coherent across activities with disjoint
+// contexts, because the scope context derives from the object's access
+// trail, not from the activity.
+func TestFileRuleCoherence(t *testing.T) {
+	w, tr, want := figure6(t)
+	a1, a2 := w.NewActivity("a1"), w.NewActivity("a2")
+	assoc := rules.NewAssoc()
+	for _, a := range []core.Entity{a1, a2} {
+		ctx := core.NewContext()
+		ctx.Bind("a", w.NewObject("private-a")) // would shadow wrongly
+		assoc.Set(a, ctx)
+	}
+	rule := &FileRule{World: w, ActivityContexts: assoc}
+	resolver := rules.NewResolver(w, rule)
+
+	file, trail, err := tr.LookupTrail(core.ParsePath("proj/src/n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := Chain(tr.Root, trail)
+	for _, a := range []core.Entity{a1, a2} {
+		got, err := resolver.Resolve(rules.FromObject(a, file, chain), core.ParsePath("a/p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("R(file) for %v = %v, want %v", a, got, want)
+		}
+	}
+	// Internal names fall back to the activity context.
+	got, err := resolver.Resolve(rules.Internal(a1), core.PathOf("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Label(got) != "private-a" {
+		t.Fatalf("fallback = %v (%s)", got, w.Label(got))
+	}
+	if rule.String() != "R(file)" {
+		t.Fatalf("String = %q", rule.String())
+	}
+}
+
+func TestFileRuleNoActivityContext(t *testing.T) {
+	w, _, _ := figure6(t)
+	a := w.NewActivity("a")
+	rule := &FileRule{World: w, ActivityContexts: rules.NewAssoc()}
+	if _, err := rule.Select(rules.Internal(a)); err == nil {
+		t.Fatal("missing activity context accepted")
+	}
+	// Object source without a trail also falls back (and here fails).
+	if _, err := rule.Select(rules.FromObject(a, w.NewObject("o"), nil)); err == nil {
+		t.Fatal("trail-less object source accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package exchange generalizes the paper's §6 approach I — "use an
+// appropriate resolution rule" — to textual names exchanged between
+// processes over the simulated network.
+//
+// A name embedded in a message is valid in the context of the sender, not
+// necessarily of the receiver. The R(sender) rule is implemented the way
+// the paper implements it for pids: by translating the embedded name at
+// the communication boundary, with a Translator appropriate to the scheme
+// in force — the Newcastle machine-mapping rule, a federation prefix map,
+// or the identity (the R(receiver) baseline that loses coherence).
+package exchange

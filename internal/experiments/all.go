@@ -1,0 +1,35 @@
+package experiments
+
+// All runs every experiment and ablation at its default configuration and
+// returns the tables in index order.
+func All() ([]*Table, error) {
+	var tables []*Table
+
+	tables = append(tables, E1(DefaultE1()))
+	tables = append(tables, E2(DefaultE2()))
+
+	for _, build := range []func() (*Table, error){
+		func() (*Table, error) { return E3(DefaultE3()) },
+		func() (*Table, error) { return E4(DefaultE4()) },
+		func() (*Table, error) { return E5(DefaultE5()) },
+		func() (*Table, error) { return E6(DefaultE6()) },
+		func() (*Table, error) { return E7(DefaultE7()) },
+		func() (*Table, error) { return E8(DefaultE8()) },
+		func() (*Table, error) { return E9(DefaultE9()) },
+		func() (*Table, error) { return E10(DefaultE10()) },
+		func() (*Table, error) { return E11(DefaultE11()) },
+		func() (*Table, error) { return E12(DefaultE12()) },
+		func() (*Table, error) { return E13(DefaultE13()) },
+		func() (*Table, error) { return A1(DefaultA1()) },
+		func() (*Table, error) { return A3(DefaultA3()) },
+		func() (*Table, error) { return A4(DefaultA4()) },
+		func() (*Table, error) { return A5(DefaultA5()) },
+	} {
+		t, err := build()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

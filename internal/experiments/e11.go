@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"namecoherence/internal/core"
+	"namecoherence/internal/replsvc"
+)
+
+// E11Config parameterizes experiment E11: weak coherence of a replicated
+// name service over the wire, with failover.
+type E11Config struct {
+	// ReplicaCounts is the sweep of replica-set sizes.
+	ReplicaCounts []int
+	// Resolutions per phase.
+	Resolutions int
+}
+
+// DefaultE11 returns the standard configuration.
+func DefaultE11() E11Config {
+	return E11Config{ReplicaCounts: []int{2, 4}, Resolutions: 24}
+}
+
+const e11Spec = `
+dir /usr/bin
+file /usr/bin/ls "#!ls"
+file /etc/passwd "root:0"
+`
+
+// E11 drives resolutions through a rotating replica pool: strict coherence
+// fails (distinct replica entities come back), weak coherence holds (all
+// results are replicas of one another), and after one replica dies the
+// pool keeps answering via failover.
+func E11(cfg E11Config) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "replicated name service: weak coherence and failover",
+		Header: []string{
+			"replicas", "resolutions", "distinct-entities",
+			"weak-coherent", "post-failure-success",
+		},
+		Notes: []string{
+			"§5 at the service level: a replicated service cannot give strict",
+			"coherence (each replica answers with its own entity), but gives weak",
+			"coherence — which also buys availability: the pool survives a replica",
+			"failure.",
+		},
+	}
+	for _, n := range cfg.ReplicaCounts {
+		w := core.NewWorld()
+		rs, err := replsvc.NewReplicaSet(w, e11Spec, n)
+		if err != nil {
+			return nil, err
+		}
+		pool, err := replsvc.NewPool(rs.Addrs())
+		if err != nil {
+			rs.Close()
+			return nil, err
+		}
+
+		p := core.ParsePath("usr/bin/ls")
+		distinct := make(map[core.EntityID]bool)
+		weak := 0
+		var first core.Entity
+		for i := 0; i < cfg.Resolutions; i++ {
+			e, err := pool.Resolve(p)
+			if err != nil {
+				pool.Close()
+				rs.Close()
+				return nil, err
+			}
+			if i == 0 {
+				first = e
+			}
+			distinct[e.ID] = true
+			if w.SameReplica(first, e) {
+				weak++
+			}
+		}
+
+		// Kill replica 0; count post-failure successes.
+		if err := rs.StopReplica(0); err != nil {
+			pool.Close()
+			rs.Close()
+			return nil, err
+		}
+		succ := 0
+		for i := 0; i < cfg.Resolutions; i++ {
+			if _, err := pool.Resolve(p); err == nil {
+				succ++
+			}
+		}
+		pool.Close()
+		rs.Close()
+
+		t.AddRow(itoa(n), itoa(cfg.Resolutions), itoa(len(distinct)),
+			f2(float64(weak)/float64(cfg.Resolutions)),
+			f2(float64(succ)/float64(cfg.Resolutions)))
+	}
+	return t, nil
+}

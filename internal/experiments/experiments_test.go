@@ -1,0 +1,484 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// cell returns Rows[r][c] with bounds checking.
+func cell(t *testing.T, tb *Table, r, c int) string {
+	t.Helper()
+	if r >= len(tb.Rows) || c >= len(tb.Rows[r]) {
+		t.Fatalf("%s: no cell (%d,%d); rows=%v", tb.ID, r, c, tb.Rows)
+	}
+	return tb.Rows[r][c]
+}
+
+// rowByLabel returns the first row whose first cell equals label.
+func rowByLabel(t *testing.T, tb *Table, label string) []string {
+	t.Helper()
+	for _, row := range tb.Rows {
+		if row[0] == label {
+			return row
+		}
+	}
+	t.Fatalf("%s: no row %q; rows=%v", tb.ID, label, tb.Rows)
+	return nil
+}
+
+func TestE1Matrix(t *testing.T) {
+	tb := E1(DefaultE1())
+	// Rows: R(activity), R(sender), R(object), R(global).
+	// Columns: rule, internal, message, object.
+	want := [][]string{
+		{"R(activity)", "0.25", "0.25", "0.25"},
+		{"R(sender)", "0.25", "1.00", "0.25"},
+		{"R(object)", "0.25", "0.25", "1.00"},
+		{"R(global)", "1.00", "1.00", "1.00"},
+	}
+	if len(tb.Rows) != len(want) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for r := range want {
+		for c := range want[r] {
+			if got := cell(t, tb, r, c); got != want[r][c] {
+				t.Errorf("E1[%d][%d] = %q, want %q", r, c, got, want[r][c])
+			}
+		}
+	}
+}
+
+func TestE2Sweep(t *testing.T) {
+	tb := E2(DefaultE2())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		overlap := row[0]
+		// Receiver-side selections track the overlap; sender/object-side
+		// selections are always fully coherent.
+		if row[1] != overlap {
+			t.Errorf("msg/R(receiver) at overlap %s = %s", overlap, row[1])
+		}
+		if row[3] != overlap {
+			t.Errorf("obj/R(activity) at overlap %s = %s", overlap, row[3])
+		}
+		if row[2] != "1.00" || row[4] != "1.00" {
+			t.Errorf("sender/object rules not fully coherent at %s: %v", overlap, row)
+		}
+	}
+}
+
+func TestE3Newcastle(t *testing.T) {
+	tb, err := E3(DefaultE3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[string]string{
+		"/ names, same machine":                               "1.00",
+		"/ names, across machines":                            "0.00",
+		"../machine/... names, across machines":               "1.00",
+		"remote exec params, root-of-invoker":                 "1.00",
+		"remote exec executor-local access, root-of-invoker":  "0.00",
+		"remote exec params, root-of-executor":                "0.00",
+		"remote exec executor-local access, root-of-executor": "1.00",
+	}
+	for label, want := range expect {
+		row := rowByLabel(t, tb, label)
+		if row[1] != want {
+			t.Errorf("%q = %s, want %s", label, row[1], want)
+		}
+	}
+}
+
+func TestE4SharedGraph(t *testing.T) {
+	tb, err := E4(DefaultE4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// label → [strict, weak]
+	expect := map[string][2]string{
+		"/vice (shared graph), all clients": {"1.00", "1.00"},
+		"local names, all clients":          {"0.00", "0.00"},
+		"replicated /bin, all clients":      {"0.00", "1.00"},
+		"/.: cell names, within cell":       {"1.00", "1.00"},
+		"/.: cell names, across cells":      {"0.00", "0.00"},
+	}
+	for label, want := range expect {
+		row := rowByLabel(t, tb, label)
+		if row[1] != want[0] || row[2] != want[1] {
+			t.Errorf("%q = (%s,%s), want %v", label, row[1], row[2], want)
+		}
+	}
+}
+
+func TestE5Federation(t *testing.T) {
+	tb, err := E5(DefaultE5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	verbatim := rowByLabel(t, tb, "verbatim across boundary")
+	if verbatim[1] != "0" {
+		t.Errorf("verbatim coherent = %s, want 0", verbatim[1])
+	}
+	if verbatim[2] != "5" {
+		t.Errorf("verbatim wrong-entity = %s, want 5 (the colliding users)", verbatim[2])
+	}
+	mapped := rowByLabel(t, tb, "with prefix mapping")
+	if mapped[1] != "20" || mapped[2] != "0" {
+		t.Errorf("mapped = %v", mapped)
+	}
+	if row := rowByLabel(t, tb, "embedded name, receiver-root rule"); row[1] != "0" {
+		t.Errorf("embedded baseline = %s, want 0", row[1])
+	}
+	if row := rowByLabel(t, tb, "embedded name, Algol-scope rule"); row[1] != "1" {
+		t.Errorf("embedded scoped = %s, want 1", row[1])
+	}
+}
+
+func TestE6Embedded(t *testing.T) {
+	tb, err := E6(DefaultE6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := itoa(DefaultE6().EmbeddedNames)
+	// The scope rule preserves all meanings under every operation; the
+	// baseline works only in the purpose-built friendly layout.
+	for _, row := range tb.Rows {
+		if row[1] != n {
+			t.Errorf("scoped %q = %s, want %s", row[0], row[1], n)
+		}
+		wantBaseline := "0"
+		if row[0] == "baseline-friendly layout" {
+			wantBaseline = n
+		}
+		if row[2] != wantBaseline {
+			t.Errorf("baseline %q = %s, want %s", row[0], row[2], wantBaseline)
+		}
+	}
+}
+
+func TestE7Renumbering(t *testing.T) {
+	tb, err := E7(DefaultE7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		scheme, intra, inward, untouched := row[1], row[2], row[4], row[5]
+		if intra == "n/a" {
+			t.Fatalf("no intra refs sampled: %v", row)
+		}
+		// The paper's claim: intra refs survive iff partially qualified.
+		wantIntra := "0.00"
+		if scheme == "partially qualified" {
+			wantIntra = "1.00"
+		}
+		if !strings.HasPrefix(intra, wantIntra) {
+			t.Errorf("%v: intra = %s, want prefix %s", row[:2], intra, wantIntra)
+		}
+		// Inward refs break under both schemes; untouched survive both.
+		if !strings.HasPrefix(inward, "0.00") {
+			t.Errorf("%v: inward = %s", row[:2], inward)
+		}
+		if !strings.HasPrefix(untouched, "1.00") {
+			t.Errorf("%v: untouched = %s", row[:2], untouched)
+		}
+	}
+}
+
+func TestE8PerProcess(t *testing.T) {
+	tb, err := E8(DefaultE8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := rowByLabel(t, tb, "per-process remote exec")
+	if pp[1] != "1.00" || pp[2] != "1.00" {
+		t.Errorf("per-process row = %v", pp)
+	}
+	base := rowByLabel(t, tb, "per-machine baseline")
+	if base[1] != "0.00" {
+		t.Errorf("baseline param coherence = %s, want 0.00", base[1])
+	}
+}
+
+func TestE9WeakCoherence(t *testing.T) {
+	tb, err := E9(DefaultE9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(DefaultE9().ClientCounts) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "0.00" || row[2] != "1.00" {
+			t.Errorf("clients=%s: strict=%s weak=%s, want 0.00/1.00", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestE10ScopeDistance(t *testing.T) {
+	tb, err := E10(DefaultE10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := map[string]string{
+		"same group":                "1.00",
+		"same org, different group": "0.67",
+		"different org":             "0.33",
+	}
+	for label, want := range expect {
+		row := rowByLabel(t, tb, label)
+		if row[len(row)-1] != want {
+			t.Errorf("%q degree = %s, want %s", label, row[len(row)-1], want)
+		}
+	}
+	// The services (federation-scoped) column stays coherent everywhere.
+	for _, row := range tb.Rows {
+		if row[3] != "coherent" {
+			t.Errorf("services at %q = %s", row[0], row[3])
+		}
+	}
+}
+
+func TestA1Caching(t *testing.T) {
+	tb, err := A1(DefaultA1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(DefaultA1().CacheSizes) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Server requests must be monotonically non-increasing with cache size.
+	prev := -1
+	for i, row := range tb.Rows {
+		reqs := row[2]
+		var v int
+		if _, err := fmtSscan(reqs, &v); err != nil {
+			t.Fatalf("bad cell %q", reqs)
+		}
+		if prev >= 0 && v > prev {
+			t.Errorf("row %d: requests %d > previous %d", i, v, prev)
+		}
+		prev = v
+	}
+	// Without a cache, every lookup hits the server.
+	if tb.Rows[0][2] != tb.Rows[0][1] {
+		t.Errorf("no-cache row: served %s != lookups %s", tb.Rows[0][2], tb.Rows[0][1])
+	}
+}
+
+func TestA3QualificationLevels(t *testing.T) {
+	tb, err := A3(DefaultA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var expr [3]int
+	for i, row := range tb.Rows {
+		if _, err := fmtSscan(row[1], &expr[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Higher levels express strictly more references; level 3 expresses all.
+	if !(expr[0] <= expr[1] && expr[1] <= expr[2]) {
+		t.Errorf("expressibility not monotone: %v", expr)
+	}
+	var total int
+	if _, err := fmtSscan(tb.Rows[2][3], &total); err != nil {
+		t.Fatal(err)
+	}
+	if expr[2] != total {
+		t.Errorf("level 3 expresses %d of %d", expr[2], total)
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 17 {
+		t.Fatalf("tables = %d, want 17", len(tables))
+	}
+	seen := make(map[string]bool)
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || len(tb.Rows) == 0 {
+			t.Errorf("table %q malformed", tb.ID)
+		}
+		if seen[tb.ID] {
+			t.Errorf("duplicate table id %q", tb.ID)
+		}
+		seen[tb.ID] = true
+		if s := tb.String(); !strings.Contains(s, tb.ID) {
+			t.Errorf("String missing ID for %q", tb.ID)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"n1"},
+	}
+	tb.AddRow("x", "y")
+	s := tb.String()
+	for _, want := range []string{"== T: demo ==", "a", "x", "note: n1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// fmtSscan adapts fmt.Sscan for terse use in assertions.
+func fmtSscan(s string, v *int) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+func TestA4CacheChurn(t *testing.T) {
+	tb, err := A4(DefaultA4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staleByScheme = map[string]int{}
+	var servedByScheme = map[string]int{}
+	for _, row := range tb.Rows {
+		var stale, served int
+		if _, err := fmtSscan(row[2], &stale); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[3], &served); err != nil {
+			t.Fatal(err)
+		}
+		staleByScheme[row[0]] = stale
+		servedByScheme[row[0]] = served
+	}
+	// No cache: never stale, every lookup served remotely.
+	if staleByScheme["none"] != 0 || servedByScheme["none"] != DefaultA4().Lookups {
+		t.Errorf("none: %d stale, %d served", staleByScheme["none"], servedByScheme["none"])
+	}
+	// Plain cache: substantially stale under churn.
+	if staleByScheme["plain"] == 0 {
+		t.Error("plain cache shows no staleness under churn")
+	}
+	// Coherent cache: strictly less stale than plain, at higher traffic.
+	if staleByScheme["coherent"] >= staleByScheme["plain"] {
+		t.Errorf("coherent (%d) not better than plain (%d)",
+			staleByScheme["coherent"], staleByScheme["plain"])
+	}
+	if servedByScheme["coherent"] <= servedByScheme["plain"] {
+		t.Errorf("coherent traffic (%d) not higher than plain (%d) — suspicious",
+			servedByScheme["coherent"], servedByScheme["plain"])
+	}
+}
+
+func TestA5RootBottleneck(t *testing.T) {
+	tb, err := A5(DefaultA5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(DefaultA5().Fanouts) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var lookups, rootLoad, maxL1, maxDeeper int
+		for i, dst := range []*int{&lookups, &rootLoad, &maxL1, &maxDeeper} {
+			if _, err := fmtSscan(row[i+1], dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The root serves every resolution.
+		if rootLoad != lookups {
+			t.Errorf("fanout %s: root load %d != lookups %d", row[0], rootLoad, lookups)
+		}
+		// Load strictly decreases down the tree.
+		if !(rootLoad > maxL1 && maxL1 > maxDeeper) {
+			t.Errorf("fanout %s: load not decreasing: %d, %d, %d",
+				row[0], rootLoad, maxL1, maxDeeper)
+		}
+	}
+}
+
+func TestE11ReplicatedService(t *testing.T) {
+	tb, err := E11(DefaultE11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		var replicas, distinct int
+		if _, err := fmtSscan(row[0], &replicas); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[2], &distinct); err != nil {
+			t.Fatal(err)
+		}
+		// Rotation visits every replica: strict coherence impossible.
+		if distinct != replicas {
+			t.Errorf("replicas=%d: distinct = %d", replicas, distinct)
+		}
+		// Weak coherence and post-failure availability are total.
+		if row[3] != "1.00" {
+			t.Errorf("replicas=%d: weak-coherent = %s", replicas, row[3])
+		}
+		if row[4] != "1.00" {
+			t.Errorf("replicas=%d: post-failure success = %s", replicas, row[4])
+		}
+	}
+}
+
+func TestE12BoundaryTranslation(t *testing.T) {
+	tb, err := E12(DefaultE12())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var crossOK, crossTotal, sameOK, sameTotal int
+		for i, dst := range []*int{&crossOK, &crossTotal, &sameOK, &sameTotal} {
+			if _, err := fmtSscan(row[i+1], dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Same-machine exchange is always coherent.
+		if sameOK != sameTotal {
+			t.Errorf("%s: same-machine %d/%d", row[0], sameOK, sameTotal)
+		}
+		// Cross-machine: 0 for identity, all for the mapping translator.
+		if strings.HasPrefix(row[0], "identity") && crossOK != 0 {
+			t.Errorf("identity cross-machine coherent = %d", crossOK)
+		}
+		if strings.HasPrefix(row[0], "newcastle") && crossOK != crossTotal {
+			t.Errorf("mapped cross-machine %d/%d", crossOK, crossTotal)
+		}
+	}
+}
+
+func TestE13ForkDivergence(t *testing.T) {
+	tb, err := E13(DefaultE13())
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := DefaultE13().InitialAttaches
+	for _, row := range tb.Rows {
+		var mutations int
+		if _, err := fmtSscan(row[0], &mutations); err != nil {
+			t.Fatal(err)
+		}
+		wantCopy := fmt.Sprintf("%.2f", float64(init)/float64(init+mutations))
+		if row[1] != wantCopy {
+			t.Errorf("mutations=%d: copy coherence = %s, want %s", mutations, row[1], wantCopy)
+		}
+		if row[2] != "1.00" {
+			t.Errorf("mutations=%d: shared coherence = %s, want 1.00", mutations, row[2])
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package federation implements §5.3 and Figure 5: autonomous systems, each
+// with its own shared naming graph, connected by cross-links.
+//
+// The context of each activity is still based on its local system, extended
+// to allow access to the remote naming graph; there are no global names
+// between systems unless they happen to use the same prefix for a shared
+// entity. Incoherence arises when names are exchanged across the boundary.
+//
+// The package also provides the paper's "mapping solution": a PrefixMapper,
+// the closure mechanism used by humans to address incoherence by rewriting
+// names with prefixes such as /org2/users when crossing scope boundaries
+// (§7).
+package federation

@@ -1,0 +1,6 @@
+// Package integration holds cross-module scenario tests: each test wires
+// several subsystems together the way a deployment of the paper's ideas
+// would — Newcastle machines exchanging structured documents, shared
+// naming graphs exported over the wire, federated organizations merging
+// name spaces — and checks the end-to-end coherence properties.
+package integration

@@ -1,0 +1,215 @@
+package integration
+
+import (
+	"testing"
+
+	"namecoherence/internal/coherence"
+	"namecoherence/internal/core"
+	"namecoherence/internal/embedded"
+	"namecoherence/internal/exchange"
+	"namecoherence/internal/federation"
+	"namecoherence/internal/machine"
+	"namecoherence/internal/perproc"
+	"namecoherence/internal/sharedns"
+)
+
+// The organization-merger story of §7, end to end: two autonomous orgs,
+// each with /users attached org-wide, federate. Verbatim name exchange is
+// incoherent; a cross-link plus prefix mapping restores coherence for plain
+// names; the scope rule keeps structured objects meaningful after they are
+// *copied* across the boundary.
+func TestOrganizationMerger(t *testing.T) {
+	w := core.NewWorld()
+	fed := federation.New(w)
+
+	org1, err := sharedns.NewSystem(w, "o1c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	org2, err := sharedns.NewSystem(w, "o2c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := org1.AttachSpace("users"); err != nil {
+		t.Fatal(err)
+	}
+	users2, err := org2.AttachSpace("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddSystem("org1", org1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddSystem("org2", org2); err != nil {
+		t.Fatal(err)
+	}
+
+	// org2's user bob keeps a structured report: main includes parts/data.
+	if _, err := users2.Tree.Create(core.ParsePath("bob/report/parts/data"), "DATA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := users2.Tree.Create(core.ParsePath("bob/report/main"), "REPORT",
+		core.ParsePath("parts/data")); err != nil {
+		t.Fatal(err)
+	}
+
+	sender, err := org2.Spawn("o2c1", "sender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := org1.Spawn("o1c1", "receiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: verbatim exchange fails.
+	out := federation.ExchangeName(sender, receiver, "/users/bob/report/main", nil)
+	if out.Coherent {
+		t.Fatal("verbatim exchange unexpectedly coherent")
+	}
+
+	// Phase 2: cross-link + prefix mapping via the exchange substrate.
+	if err := fed.CrossLink("org1", "org2-users", "org2", "users", "/"); err != nil {
+		t.Fatal(err)
+	}
+	pm := federation.NewPrefixMapper()
+	pm.AddRule("/users", "/org2-users")
+	x := exchange.NewExchanger(&exchange.PrefixTranslator{Mapper: pm})
+	a, err := x.Join(sender, "org2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := x.Join(receiver, "org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coherent, sentName, err := x.RoundTrip(a, b, "/users/bob/report/main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coherent {
+		t.Fatal("mapped exchange incoherent")
+	}
+	if sentName != "/org2-users/bob/report/main" {
+		t.Fatalf("sent name = %q", sentName)
+	}
+
+	// Phase 3: the receiver assembles the report through the cross-link;
+	// the embedded name resolves in the report's own scope.
+	recvRoot, err := receiver.Resolve("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trail, err := receiver.ResolveTrail(sentName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := &embedded.Assembler{World: w, Sep: "|"}
+	doc, err := asm.Assemble(embedded.Chain(recvRoot, trail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != "REPORT|DATA" {
+		t.Fatalf("assembled = %q", doc)
+	}
+
+	// Phase 4: org1 takes a private copy of bob's report subtree into its
+	// own users space; the copy is self-contained.
+	c1, err := org1.Client("o1c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Machine.Tree.MkdirAll(core.ParsePath("import")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Machine.Tree.CopySubtree(
+		core.ParsePath("org2-users/bob/report"),
+		core.ParsePath("import/report")); err != nil {
+		t.Fatal(err)
+	}
+	_, trail, err = receiver.ResolveTrail("/import/report/main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err = asm.Assemble(embedded.Chain(recvRoot, trail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != "REPORT|DATA" {
+		t.Fatalf("copied report assembled = %q", doc)
+	}
+	copyData, err := receiver.Resolve("/import/report/parts/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origData, err := sender.Resolve("/users/bob/report/parts/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copyData == origData {
+		t.Fatal("copy shares identity with the original — not a copy")
+	}
+}
+
+// Per-process namespaces compose with the machine substrate: a pipeline of
+// remote executions (parent → child → grandchild across three machines)
+// keeps parameter names coherent along the whole chain.
+func TestRemoteExecChainCoherence(t *testing.T) {
+	w := core.NewWorld()
+	machines := []*machine.Machine{
+		machine.New(w, "m1"), machine.New(w, "m2"), machine.New(w, "m3"),
+	}
+	parent, err := perproc.New(machines[0], "root-proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := machines[0].Tree // reuse m1's tree as the shared subsystem
+	if _, err := proj.Create(core.ParsePath("work/item"), "payload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Attach(nil, "work", mustLookup(t, w, proj, "work")); err != nil {
+		t.Fatal(err)
+	}
+
+	child, err := perproc.RemoteExec(parent, machines[1], "child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grandchild, err := perproc.RemoteExec(child, machines[2], "grandchild")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := machine.NewRegistry()
+	reg.Add(parent.Process, child.Process, grandchild.Process)
+	acts := []core.Entity{parent.Activity(), child.Activity(), grandchild.Activity()}
+	rep := coherence.Measure(w, reg.ResolveAbs, acts,
+		[]core.Path{core.ParsePath("work/item")})
+	if rep.StrictDegree() != 1 {
+		t.Fatalf("chain coherence = %v: %+v", rep.StrictDegree(), rep)
+	}
+
+	// Each hop's /local points at its own machine.
+	for i, p := range []*perproc.Proc{parent, child, grandchild} {
+		root, err := p.Resolve("/local")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root != machines[i].Tree.Root {
+			t.Fatalf("hop %d /local = %v, want %v", i, root, machines[i].Tree.Root)
+		}
+	}
+}
+
+// mustLookup resolves a single-component path in a tree.
+func mustLookup(t *testing.T, w *core.World, tr interface {
+	Lookup(core.Path) (core.Entity, error)
+}, name string) core.Entity {
+	t.Helper()
+	e, err := tr.Lookup(core.ParsePath(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+	return e
+}

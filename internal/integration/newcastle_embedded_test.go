@@ -1,0 +1,119 @@
+package integration
+
+import (
+	"testing"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/embedded"
+	"namecoherence/internal/exchange"
+	"namecoherence/internal/newcastle"
+)
+
+// A structured document lives on one Newcastle machine; a process on
+// another machine reaches it through the super-root and assembles it. The
+// Algol scope rule makes the assembly identical on both machines.
+func TestNewcastleCrossMachineDocumentAssembly(t *testing.T) {
+	w := core.NewWorld()
+	s, err := newcastle.NewSystem(w, "m1", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s.Machine("m1")
+	if _, err := m1.Tree.Create(core.ParsePath("book/ch/one"), "ONE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Tree.Create(core.ParsePath("book/main"), "MAIN",
+		core.ParsePath("ch/one")); err != nil {
+		t.Fatal(err)
+	}
+
+	assembleVia := func(p interface {
+		ResolveTrail(string) (core.Entity, []core.Entity, error)
+		Resolve(string) (core.Entity, error)
+	}, path string) string {
+		t.Helper()
+		root, err := p.Resolve("/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, trail, err := p.ResolveTrail(path)
+		if err != nil {
+			t.Fatalf("resolve %q: %v", path, err)
+		}
+		a := &embedded.Assembler{World: w, Sep: "+"}
+		doc, err := a.Assemble(embedded.Chain(root, trail))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	p1, _ := s.Spawn("m1", "reader1")
+	p2, _ := s.Spawn("m2", "reader2")
+	local := assembleVia(p1, "/book/main")
+	remote := assembleVia(p2, "/../m1/book/main")
+	if local != "MAIN+ONE" {
+		t.Fatalf("local assembly = %q", local)
+	}
+	if remote != local {
+		t.Fatalf("remote assembly %q != local %q", remote, local)
+	}
+}
+
+// The full §5.1 story: a name travels from m1 to m2 with the Newcastle
+// mapping translator; the receiver resolves it, finds a structured object,
+// and its embedded names still mean what the sender meant.
+func TestNewcastleExchangeThenEmbeddedResolution(t *testing.T) {
+	w := core.NewWorld()
+	s, err := newcastle.NewSystem(w, "m1", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s.Machine("m1")
+	target, err := m1.Tree.Create(core.ParsePath("proj/lib/dep"), "dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Tree.Create(core.ParsePath("proj/src/main"), "src",
+		core.ParsePath("lib/dep")); err != nil {
+		t.Fatal(err)
+	}
+
+	sender, _ := s.Spawn("m1", "sender")
+	receiver, _ := s.Spawn("m2", "receiver")
+	x := exchange.NewExchanger(&exchange.NewcastleTranslator{System: s})
+	a, err := x.Join(sender, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := x.Join(receiver, "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := x.Send(a, b, "/proj/src/main"); err != nil {
+		t.Fatal(err)
+	}
+	got, sentName, err := b.ReceiveResolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sender.Resolve("/proj/src/main")
+	if got != want {
+		t.Fatalf("exchanged name resolves to %v, want %v", got, want)
+	}
+
+	// Now the receiver follows the embedded name inside what it received.
+	recvRoot, _ := receiver.Resolve("/")
+	_, trail, err := receiver.ResolveTrail(sentName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, _, err := embedded.Resolve(w, embedded.Chain(recvRoot, trail), core.ParsePath("lib/dep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb != target {
+		t.Fatalf("embedded name on receiver side = %v, want %v", emb, target)
+	}
+}

@@ -1,0 +1,11 @@
+// Package machine models machines and processes in the style the paper
+// analyses for Unix-like systems (§5.1).
+//
+// A Machine owns a naming tree (its local file system). A Process is an
+// activity whose context R(p) carries the two bindings the paper describes:
+// one for the root directory ("/") and one for the working directory (".").
+// Absolute compound names resolve from the root binding, relative ones from
+// the working-directory binding. A child process inherits (a copy of) its
+// parent's context at fork time, which is why "a parent and a child have
+// coherence for all names until one of them modifies its context".
+package machine

@@ -1,0 +1,138 @@
+package nameserver
+
+import (
+	"testing"
+
+	"namecoherence/internal/core"
+)
+
+// TestCoherentCacheBoundedStaleness is the contrast to TestCacheStaleness:
+// with the revision-tracked cache, a server-side rebinding (auto-bumped
+// via WatchExport) is visible after at most one round-trip.
+func TestCoherentCacheBoundedStaleness(t *testing.T) {
+	w, tr, oldLs := exportedTree(t)
+	if _, err := tr.Create(core.ParsePath("etc/motd"), "hi"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(w, tr.RootContext())
+	if watched := s.WatchExport(tr.Root); watched < 3 {
+		t.Fatalf("watched = %d, want >= 3", watched)
+	}
+	c := pipeClient(t, s, WithCoherentCache(16))
+
+	p := core.ParsePath("usr/bin/ls")
+	got, err := c.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != oldLs {
+		t.Fatalf("initial resolve = %v", got)
+	}
+
+	// Rebind usr/bin/ls through the (watched) directory context.
+	binDir, err := tr.Lookup(core.ParsePath("usr/bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binCtx, _ := w.ContextOf(binDir)
+	newLs := w.NewObject("new-ls")
+	binCtx.Bind("ls", newLs)
+	if s.Revision() == 0 {
+		t.Fatal("WatchExport did not bump the revision")
+	}
+
+	// A cache hit may still be stale…
+	got, err = c.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != oldLs {
+		t.Fatalf("hit before any round-trip = %v (bounded staleness allows the old value)", got)
+	}
+	// …but any round-trip (here: a miss on another name) purges the cache.
+	if _, err := c.Resolve(core.ParsePath("etc/motd")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Purges() != 1 {
+		t.Fatalf("Purges = %d, want 1", c.Purges())
+	}
+	got, err = c.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != newLs {
+		t.Fatalf("post-purge resolve = %v, want %v", got, newLs)
+	}
+}
+
+func TestCoherentCacheNoChurnBehavesLikeCache(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	s.WatchExport(tr.Root)
+	c := pipeClient(t, s, WithCoherentCache(16))
+
+	p := core.ParsePath("usr/bin/ls")
+	for i := 0; i < 5; i++ {
+		got, err := c.Resolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != f {
+			t.Fatalf("resolve = %v", got)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 1 || c.Purges() != 0 {
+		t.Fatalf("stats = (%d,%d,%d), want (4,1,0)", hits, misses, c.Purges())
+	}
+}
+
+func TestManualBump(t *testing.T) {
+	w, tr, _ := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	if s.Revision() != 0 {
+		t.Fatal("fresh revision not 0")
+	}
+	s.Bump()
+	s.Bump()
+	if s.Revision() != 2 {
+		t.Fatalf("Revision = %d", s.Revision())
+	}
+
+	c := pipeClient(t, s, WithCoherentCache(4))
+	if _, err := c.Resolve(core.ParsePath("usr/bin/ls")); err != nil {
+		t.Fatal(err)
+	}
+	// First response synchronizes the client to revision 2 without a purge
+	// (the cache was empty).
+	if c.Purges() != 0 {
+		t.Fatalf("Purges = %d", c.Purges())
+	}
+	s.Bump()
+	if _, err := c.Resolve(core.ParsePath("usr/bin")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Purges() != 1 {
+		t.Fatalf("Purges after bump = %d, want 1", c.Purges())
+	}
+}
+
+// The plain (non-coherent) cache ignores revisions entirely.
+func TestPlainCacheIgnoresRevisions(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	c := pipeClient(t, s, WithCache(16))
+
+	p := core.ParsePath("usr/bin/ls")
+	if _, err := c.Resolve(p); err != nil {
+		t.Fatal(err)
+	}
+	s.Bump()
+	got, err := c.Resolve(p) // hit: no revision check possible
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f || c.Purges() != 0 {
+		t.Fatalf("plain cache purged or changed: %v %d", got, c.Purges())
+	}
+}

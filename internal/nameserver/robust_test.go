@@ -1,0 +1,117 @@
+package nameserver
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"namecoherence/internal/core"
+)
+
+// A peer that sends garbage must not take the server down; other clients
+// keep working.
+func TestServerSurvivesGarbage(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(ln)
+	}()
+	defer func() {
+		s.Close()
+		<-done
+	}()
+
+	// Garbage connection.
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte("\xff\x00garbage not gob\x01\x02\x03")); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.Close()
+
+	// A real client still gets answers.
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	got, err := c.Resolve(core.ParsePath("usr/bin/ls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// A peer that connects and immediately hangs up must not leak handlers.
+func TestServerSurvivesImmediateHangup(t *testing.T) {
+	w, tr, _ := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(ln)
+	}()
+
+	for i := 0; i < 10; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.Close()
+	}
+	// Close must return promptly (handlers all exited on EOF).
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung — leaked connection handlers")
+	}
+	<-done
+}
+
+// Client behaviour when the server closes mid-session: a clear error, not
+// a hang.
+func TestClientErrorAfterServerGone(t *testing.T) {
+	w, tr, _ := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(ln)
+	}()
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if _, err := c.Resolve(core.ParsePath("usr")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	<-done
+	if _, err := c.Resolve(core.ParsePath("usr")); err == nil {
+		t.Fatal("resolve after server close succeeded")
+	}
+}

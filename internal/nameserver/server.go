@@ -1,0 +1,327 @@
+package nameserver
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"namecoherence/internal/core"
+)
+
+// request is a resolve request on the wire.
+type request struct {
+	// Path is the compound name, one component per element.
+	Path []string
+}
+
+// response is the server's answer.
+type response struct {
+	// ID and Kind identify the resolved entity (0 on failure).
+	ID   uint64
+	Kind uint8
+	// Rev is the server's binding revision at answer time; coherent client
+	// caches purge stale entries when it advances.
+	Rev uint64
+	// Err carries the failure message, empty on success.
+	Err string
+}
+
+// Server resolves names in an exported context on behalf of remote clients.
+type Server struct {
+	world  *core.World
+	export core.Context
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	served   int
+	rev      uint64
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server exporting the given context of world.
+func NewServer(w *core.World, export core.Context) *Server {
+	return &Server{world: w, export: export, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close is called, serving each
+// connection on its own goroutine. It returns after the listener fails
+// (normally: because Close closed it).
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn serves one connection until EOF or error, then closes it.
+// It may be called directly (e.g. with one end of a net.Pipe).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer
+		}
+		resp := s.handle(req)
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	p := make(core.Path, len(req.Path))
+	for i, c := range req.Path {
+		p[i] = core.Name(c)
+	}
+	s.mu.Lock()
+	rev := s.rev
+	s.mu.Unlock()
+	e, err := s.world.Resolve(s.export, p)
+	if err != nil {
+		return response{Rev: rev, Err: err.Error()}
+	}
+	return response{ID: uint64(e.ID), Kind: uint8(e.Kind), Rev: rev}
+}
+
+// Bump advances the server's binding revision. Coherent client caches
+// purge their entries at the next round-trip after a bump, bounding cache
+// staleness to one request. Call it whenever the exported naming graph
+// changes, or let WatchExport do so automatically.
+func (s *Server) Bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rev++
+}
+
+// Revision returns the current binding revision.
+func (s *Server) Revision() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+// WatchExport wraps every directory reachable from root so that any
+// binding change bumps the server revision, and returns how many
+// directories are now watched. Directories created later are not covered
+// until WatchExport is called again.
+func (s *Server) WatchExport(root core.Entity) int {
+	return s.world.WatchReachable(root, func(core.Name, core.Entity) {
+		s.Bump()
+	})
+}
+
+// Served returns the number of requests handled so far.
+func (s *Server) Served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Close stops the listener, closes active connections, and waits for
+// connection handlers started by Serve to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// RemoteError is a resolution failure reported by the server.
+type RemoteError struct {
+	// Msg is the server-side error message.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// Client is a connection to a name server with an optional resolution
+// cache. Client is safe for concurrent use; requests are serialized on the
+// connection.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	cache    map[string]core.Entity
+	limit    int
+	coherent bool
+	rev      uint64
+	hits     int
+	misses   int
+	purges   int
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	apply(*Client)
+}
+
+type cacheOption int
+
+func (o cacheOption) apply(c *Client) {
+	c.limit = int(o)
+	c.cache = make(map[string]core.Entity)
+}
+
+// WithCache enables a client-side resolution cache of at most n entries.
+// The cache is never invalidated; it models the (coherence-agnostic) name
+// caches common in directory services.
+func WithCache(n int) ClientOption {
+	return cacheOption(n)
+}
+
+type coherentCacheOption int
+
+func (o coherentCacheOption) apply(c *Client) {
+	c.limit = int(o)
+	c.cache = make(map[string]core.Entity)
+	c.coherent = true
+}
+
+// WithCoherentCache enables a revision-tracked cache of at most n entries:
+// every response carries the server's binding revision, and when it
+// advances the whole cache is purged before the new entry is stored. Cache
+// staleness is thus bounded by one round-trip after a server-side change
+// (pair with Server.WatchExport for automatic bumping).
+func WithCoherentCache(n int) ClientOption {
+	return coherentCacheOption(n)
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn, opts ...ClientOption) *Client {
+	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// Dial connects to a server listening at addr.
+func Dial(network, addr string, opts ...ClientOption) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial name server: %w", err)
+	}
+	return NewClient(conn, opts...), nil
+}
+
+// Resolve resolves the compound name at the server (or the cache).
+func (c *Client) Resolve(p core.Path) (core.Entity, error) {
+	key := p.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cache != nil {
+		if e, ok := c.cache[key]; ok {
+			c.hits++
+			return e, nil
+		}
+	}
+	c.misses++
+	req := request{Path: make([]string, len(p))}
+	for i, n := range p {
+		req.Path[i] = string(n)
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return core.Undefined, fmt.Errorf("send resolve %q: %w", p, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return core.Undefined, fmt.Errorf("resolve %q: server closed: %w", p, err)
+		}
+		return core.Undefined, fmt.Errorf("recv resolve %q: %w", p, err)
+	}
+	if c.coherent && resp.Rev != c.rev {
+		// The exported graph changed since our entries were fetched:
+		// purge before trusting anything new.
+		if len(c.cache) > 0 {
+			c.cache = make(map[string]core.Entity)
+			c.purges++
+		}
+		c.rev = resp.Rev
+	}
+	if resp.Err != "" {
+		return core.Undefined, &RemoteError{Msg: resp.Err}
+	}
+	e := core.Entity{ID: core.EntityID(resp.ID), Kind: core.Kind(resp.Kind)}
+	if c.cache != nil {
+		if len(c.cache) >= c.limit {
+			// Evict an arbitrary entry; fine for a measurement cache.
+			for k := range c.cache {
+				delete(c.cache, k)
+				break
+			}
+		}
+		c.cache[key] = e
+	}
+	return e, nil
+}
+
+// Stats returns cache hits and misses so far.
+func (c *Client) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purges returns how many times the coherent cache has been invalidated.
+func (c *Client) Purges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.purges
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}

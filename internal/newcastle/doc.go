@@ -1,0 +1,17 @@
+// Package newcastle implements the Newcastle Connection scheme of §5.1 and
+// Figure 3: a single naming tree composed from the individual naming trees
+// of several machines by creating a new super-root and attaching each
+// machine's tree under it.
+//
+// Processes on different machines have different bindings for their root
+// directory — typically R(p)(/) is the root of the machine on which p
+// executes — so there is coherence for names starting with "/" only among
+// processes on the same machine. The Unix ".." notation refers to nodes
+// above a machine's root, which is how remote files are reached
+// ("/../m2/etc/passwd") and how names are mapped across machines.
+//
+// Remote execution binds the child's root either to the root of the machine
+// where the execution was invoked (coherent parameter passing) or to the
+// root of the machine where the child executes (access to local objects,
+// no coherence for parameters) — both policies are provided.
+package newcastle

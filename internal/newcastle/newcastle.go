@@ -1,0 +1,169 @@
+package newcastle
+
+import (
+	"errors"
+	"fmt"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/machine"
+)
+
+// RootPolicy selects the root binding of a remotely executed child (§5.1).
+type RootPolicy int
+
+// Remote-execution root policies.
+const (
+	// RootOfInvoker binds the child's root to the root of the machine
+	// where the execution was invoked: names can be passed as parameters
+	// (coherence), but the child does not see the executor's local files
+	// under "/".
+	RootOfInvoker RootPolicy = iota + 1
+	// RootOfExecutor binds the child's root to the root of the machine
+	// where the child executes: the child can access local objects, but
+	// there is no coherence for parameters.
+	RootOfExecutor
+)
+
+// String returns the policy tag.
+func (p RootPolicy) String() string {
+	switch p {
+	case RootOfInvoker:
+		return "root-of-invoker"
+	case RootOfExecutor:
+		return "root-of-executor"
+	default:
+		return "unknown-policy"
+	}
+}
+
+// Errors returned by system operations.
+var (
+	ErrUnknownMachine = errors.New("unknown machine")
+	ErrBadPolicy      = errors.New("unknown root policy")
+	ErrNotAbsolute    = errors.New("name is not absolute")
+)
+
+// System is a Newcastle Connection: machines whose trees hang off a common
+// super-root, with each machine root's ".." pointing at the super-root.
+type System struct {
+	// World is the shared world.
+	World *core.World
+	// Super is the super-root tree; its entries are the machine names.
+	Super *dirtree.Tree
+	// Registry maps process activities back to processes for probing.
+	Registry *machine.Registry
+
+	machines map[string]*machine.Machine
+	order    []string
+}
+
+// NewSystem composes a Newcastle Connection from fresh machines with the
+// given names.
+func NewSystem(w *core.World, machineNames ...string) (*System, error) {
+	s := &System{
+		World:    w,
+		Super:    dirtree.New(w, "super-root"),
+		Registry: machine.NewRegistry(),
+		machines: make(map[string]*machine.Machine, len(machineNames)),
+	}
+	for _, name := range machineNames {
+		if err := s.AddMachine(name); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// AddMachine creates a machine and attaches its tree under the super-root.
+// The machine root's ".." is rebound from itself to the super-root, which
+// is exactly the Newcastle construction.
+func (s *System) AddMachine(name string) error {
+	if _, ok := s.machines[name]; ok {
+		return fmt.Errorf("add machine %q: %w", name, dirtree.ErrExists)
+	}
+	m := machine.New(s.World, name)
+	if err := s.Super.Attach(nil, core.Name(name), m.Tree.Root); err != nil {
+		return fmt.Errorf("add machine %q: %w", name, err)
+	}
+	rootCtx, _ := s.World.ContextOf(m.Tree.Root)
+	rootCtx.Bind(dirtree.ParentName, s.Super.Root)
+	s.machines[name] = m
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Machine returns the named machine.
+func (s *System) Machine(name string) (*machine.Machine, error) {
+	m, ok := s.machines[name]
+	if !ok {
+		return nil, fmt.Errorf("machine %q: %w", name, ErrUnknownMachine)
+	}
+	return m, nil
+}
+
+// MachineNames returns the machine names in attachment order.
+func (s *System) MachineNames() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Spawn creates a process on the named machine with the conventional
+// Newcastle binding: root = the machine's own root.
+func (s *System) Spawn(machineName, label string) (*machine.Process, error) {
+	m, err := s.Machine(machineName)
+	if err != nil {
+		return nil, err
+	}
+	p := m.Spawn(label)
+	s.Registry.Add(p)
+	return p, nil
+}
+
+// RemoteExec executes a child for parent on the target machine under the
+// given root policy.
+func (s *System) RemoteExec(parent *machine.Process, target, label string, policy RootPolicy) (*machine.Process, error) {
+	m, err := s.Machine(target)
+	if err != nil {
+		return nil, err
+	}
+	var child *machine.Process
+	switch policy {
+	case RootOfInvoker:
+		child = parent.ForkOn(m, label)
+	case RootOfExecutor:
+		ctx := parent.Ctx.Clone()
+		ctx.Bind(machine.RootName, m.Tree.Root)
+		ctx.Bind(machine.CwdName, m.Tree.Root)
+		child = m.SpawnWith(label, ctx)
+	default:
+		return nil, fmt.Errorf("remote exec on %q: %w", target, ErrBadPolicy)
+	}
+	s.Registry.Add(child)
+	return child, nil
+}
+
+// MapName rewrites an absolute name valid on machine `from` into an
+// equivalent absolute name valid on machine `to`, using the ".." notation
+// to climb above the target machine's root: "/etc/passwd" on m1 becomes
+// "/../m1/etc/passwd" on m2. This is the paper's "simple rule can be used
+// to map names across machines". Mapping to the same machine is the
+// identity.
+func (s *System) MapName(from, to, name string) (string, error) {
+	if _, ok := s.machines[from]; !ok {
+		return "", fmt.Errorf("map from %q: %w", from, ErrUnknownMachine)
+	}
+	if _, ok := s.machines[to]; !ok {
+		return "", fmt.Errorf("map to %q: %w", to, ErrUnknownMachine)
+	}
+	abs, p := core.SplitPathString(name)
+	if !abs {
+		return "", fmt.Errorf("map %q: %w", name, ErrNotAbsolute)
+	}
+	if from == to {
+		return name, nil
+	}
+	mapped := core.PathOf(dirtree.ParentName, core.Name(from)).Join(p)
+	return core.Separator + mapped.String(), nil
+}

@@ -1,0 +1,318 @@
+package newcastle
+
+import (
+	"errors"
+	"testing"
+
+	"namecoherence/internal/coherence"
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/machine"
+)
+
+// threeMachines builds the Figure 3 system: unix1, unix2, unix3, each with
+// its own /etc/passwd and a machine-specific file.
+func threeMachines(t *testing.T) (*core.World, *System) {
+	t.Helper()
+	w := core.NewWorld()
+	s, err := NewSystem(w, "unix1", "unix2", "unix3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.MachineNames() {
+		m, err := s.Machine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Tree.Create(core.ParsePath("etc/passwd"), "users@"+name); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Tree.Create(core.ParsePath("data/"+name+".dat"), "payload"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w, s
+}
+
+func TestAddMachineDuplicate(t *testing.T) {
+	w := core.NewWorld()
+	s, err := NewSystem(w, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddMachine("m1"); !errors.Is(err, dirtree.ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestMachineLookupUnknown(t *testing.T) {
+	w := core.NewWorld()
+	s, err := NewSystem(w, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Machine("nope"); !errors.Is(err, ErrUnknownMachine) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Spawn("nope", "p"); !errors.Is(err, ErrUnknownMachine) {
+		t.Fatalf("spawn err = %v", err)
+	}
+}
+
+func TestLocalResolution(t *testing.T) {
+	_, s := threeMachines(t)
+	p, err := s.Spawn("unix1", "sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Resolve("/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s.Machine("unix1")
+	want, _ := m1.Tree.Lookup(core.ParsePath("etc/passwd"))
+	if got != want {
+		t.Fatal("local name resolved to wrong machine's file")
+	}
+}
+
+func TestCrossMachineViaDotDot(t *testing.T) {
+	_, s := threeMachines(t)
+	p, err := s.Spawn("unix1", "sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From unix1, unix2's passwd is /../unix2/etc/passwd.
+	got, err := p.Resolve("/../unix2/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := s.Machine("unix2")
+	want, _ := m2.Tree.Lookup(core.ParsePath("etc/passwd"))
+	if got != want {
+		t.Fatal("cross-machine name resolved wrongly")
+	}
+}
+
+func TestSameMachineCoherence(t *testing.T) {
+	w, s := threeMachines(t)
+	p1, _ := s.Spawn("unix1", "p1")
+	p2, _ := s.Spawn("unix1", "p2")
+	rep := coherence.Measure(w, s.Registry.ResolveAbs,
+		[]core.Entity{p1.Activity, p2.Activity},
+		[]core.Path{core.ParsePath("etc/passwd"), core.ParsePath("data/unix1.dat")})
+	if rep.StrictDegree() != 1 {
+		t.Fatalf("same-machine coherence degree = %v, report %+v", rep.StrictDegree(), rep)
+	}
+}
+
+func TestCrossMachineIncoherence(t *testing.T) {
+	w, s := threeMachines(t)
+	p1, _ := s.Spawn("unix1", "p1")
+	p2, _ := s.Spawn("unix2", "p2")
+	rep := coherence.Measure(w, s.Registry.ResolveAbs,
+		[]core.Entity{p1.Activity, p2.Activity},
+		[]core.Path{core.ParsePath("etc/passwd")})
+	if rep.Incoherent != 1 {
+		t.Fatalf("expected incoherence across machine boundary, report %+v", rep)
+	}
+}
+
+// The shared super-root gives coherence for names that go through it: the
+// fully super-root-relative names agree everywhere (a shared naming tree
+// does not imply names are global, but ..-prefixed names are coherent
+// because every machine's ".." meets at the super-root).
+func TestDotDotNamesCoherent(t *testing.T) {
+	w, s := threeMachines(t)
+	p1, _ := s.Spawn("unix1", "p1")
+	p2, _ := s.Spawn("unix2", "p2")
+	p3, _ := s.Spawn("unix3", "p3")
+	paths := []core.Path{
+		core.ParsePath("../unix1/etc/passwd"),
+		core.ParsePath("../unix2/etc/passwd"),
+		core.ParsePath("../unix3/data/unix3.dat"),
+	}
+	rep := coherence.Measure(w, s.Registry.ResolveAbs,
+		[]core.Entity{p1.Activity, p2.Activity, p3.Activity}, paths)
+	if rep.StrictDegree() != 1 {
+		t.Fatalf("..-prefixed names not coherent: %+v", rep)
+	}
+}
+
+func TestRemoteExecRootOfInvoker(t *testing.T) {
+	_, s := threeMachines(t)
+	parent, _ := s.Spawn("unix1", "parent")
+	child, err := s.RemoteExec(parent, "unix2", "child", RootOfInvoker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Machine.Name != "unix2" {
+		t.Fatal("child not on target machine")
+	}
+	// Parameter passing is coherent: the same absolute name denotes the
+	// same file for parent and child.
+	pGot, _ := parent.Resolve("/data/unix1.dat")
+	cGot, err := child.Resolve("/data/unix1.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pGot != cGot {
+		t.Fatal("root-of-invoker child disagrees with parent")
+	}
+	// But the child does not see the executor's local files under "/".
+	if _, err := child.Resolve("/data/unix2.dat"); err == nil {
+		t.Fatal("root-of-invoker child unexpectedly sees executor-local file")
+	}
+}
+
+func TestRemoteExecRootOfExecutor(t *testing.T) {
+	_, s := threeMachines(t)
+	parent, _ := s.Spawn("unix1", "parent")
+	child, err := s.RemoteExec(parent, "unix2", "child", RootOfExecutor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The child accesses executor-local objects…
+	if _, err := child.Resolve("/data/unix2.dat"); err != nil {
+		t.Fatalf("executor-local access failed: %v", err)
+	}
+	// …but parameters are not coherent: the parent's name for its own file
+	// denotes a different (here: missing) entity for the child.
+	pGot, _ := parent.Resolve("/etc/passwd")
+	cGot, _ := child.Resolve("/etc/passwd")
+	if pGot == cGot {
+		t.Fatal("root-of-executor child coherent with parent; should not be")
+	}
+}
+
+func TestRemoteExecBadPolicy(t *testing.T) {
+	_, s := threeMachines(t)
+	parent, _ := s.Spawn("unix1", "parent")
+	if _, err := s.RemoteExec(parent, "unix2", "child", RootPolicy(0)); !errors.Is(err, ErrBadPolicy) {
+		t.Fatalf("err = %v, want ErrBadPolicy", err)
+	}
+	if _, err := s.RemoteExec(parent, "nope", "child", RootOfInvoker); !errors.Is(err, ErrUnknownMachine) {
+		t.Fatalf("err = %v, want ErrUnknownMachine", err)
+	}
+}
+
+func TestMapName(t *testing.T) {
+	_, s := threeMachines(t)
+	mapped, err := s.MapName("unix1", "unix2", "/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped != "/../unix1/etc/passwd" {
+		t.Fatalf("MapName = %q", mapped)
+	}
+	// The mapped name, resolved by a unix2 process, denotes the unix1 file.
+	p2, _ := s.Spawn("unix2", "p2")
+	got, err := p2.Resolve(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s.Machine("unix1")
+	want, _ := m1.Tree.Lookup(core.ParsePath("etc/passwd"))
+	if got != want {
+		t.Fatal("mapped name resolves to wrong entity")
+	}
+}
+
+func TestMapNameIdentityAndErrors(t *testing.T) {
+	_, s := threeMachines(t)
+	same, err := s.MapName("unix1", "unix1", "/x")
+	if err != nil || same != "/x" {
+		t.Fatalf("identity map = %q, %v", same, err)
+	}
+	if _, err := s.MapName("nope", "unix1", "/x"); !errors.Is(err, ErrUnknownMachine) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.MapName("unix1", "nope", "/x"); !errors.Is(err, ErrUnknownMachine) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.MapName("unix1", "unix2", "relative"); !errors.Is(err, ErrNotAbsolute) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Map-then-resolve equals resolve-at-source for every machine pair: the
+// Newcastle mapping rule preserves meaning.
+func TestMapNamePreservesMeaning(t *testing.T) {
+	_, s := threeMachines(t)
+	names := []string{"/etc/passwd", "/data/unix1.dat"}
+	procs := make(map[string]*machine.Process)
+	for _, mn := range s.MachineNames() {
+		p, err := s.Spawn(mn, "probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[mn] = p
+	}
+	for _, from := range s.MachineNames() {
+		for _, to := range s.MachineNames() {
+			for _, n := range names {
+				want, errWant := procs[from].Resolve(n)
+				mapped, err := s.MapName(from, to, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, errGot := procs[to].Resolve(mapped)
+				if (errWant == nil) != (errGot == nil) || got != want {
+					t.Fatalf("map %s→%s %q: got %v/%v want %v/%v",
+						from, to, n, got, errGot, want, errWant)
+				}
+			}
+		}
+	}
+}
+
+func TestRootPolicyString(t *testing.T) {
+	if RootOfInvoker.String() != "root-of-invoker" ||
+		RootOfExecutor.String() != "root-of-executor" ||
+		RootPolicy(0).String() != "unknown-policy" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+// Property: mapping composes — mapping a name from m1 to m2 and resolving
+// there gives the same entity as mapping m1 directly to m3 and resolving
+// there, for every machine triple. (Newcastle names are super-root-rooted
+// after one hop, so one hop is as good as two.)
+func TestMapNameComposition(t *testing.T) {
+	_, s := threeMachines(t)
+	procs := make(map[string]*machine.Process)
+	for _, mn := range s.MachineNames() {
+		p, err := s.Spawn(mn, "probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[mn] = p
+	}
+	names := []string{"/etc/passwd", "/data/unix1.dat"}
+	ms := s.MachineNames()
+	for _, a := range ms {
+		for _, b := range ms {
+			for _, c := range ms {
+				for _, n := range names {
+					ab, err := s.MapName(a, b, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Resolve the a→b mapping at b, and the a→c mapping at c:
+					// both must denote what a meant.
+					ac, err := s.MapName(a, c, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, _ := procs[a].Resolve(n)
+					gotB, _ := procs[b].Resolve(ab)
+					gotC, _ := procs[c].Resolve(ac)
+					if gotB != want || gotC != want {
+						t.Fatalf("composition broke: %s via %s/%s: %v %v want %v",
+							n, b, c, gotB, gotC, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package perproc implements the per-process view of naming (§6 approach II
+// and §7): each process has its own individual root node to which the
+// naming trees of subsystems known to the process are attached, as in
+// Plan 9 and the authors' extension of Waterloo Port.
+//
+// The per-process view decouples a process from the underlying context of
+// its execution site: a process executing on one subsystem may use the
+// context of another. The package's remote-execution facility arranges the
+// child's namespace so that names passed as parameters from a parent to its
+// remote child resolve to the parent's entities — coherence without global
+// names — while the child still reaches the executor's files under /local.
+package perproc

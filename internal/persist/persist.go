@@ -1,0 +1,191 @@
+package persist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+)
+
+// ErrBadSnapshot is wrapped by load errors.
+var ErrBadSnapshot = errors.New("bad snapshot")
+
+// snapshot is the wire form of a world.
+type snapshot struct {
+	// Entities in ID order.
+	Entities []entityRec
+	// Groups maps group ids to member entity ids.
+	Groups map[uint64][]uint64
+}
+
+type entityRec struct {
+	ID    uint64
+	Kind  uint8
+	Label string
+	// State discrimination: exactly one of the following is meaningful.
+	HasContext bool
+	Bindings   []bindingRec // when HasContext
+	HasFile    bool
+	Content    string     // when HasFile
+	Embedded   [][]string // when HasFile
+	// Opaque reports a state that could not be serialized.
+	Opaque bool
+}
+
+type bindingRec struct {
+	Name string
+	To   uint64
+	Kind uint8
+}
+
+// Save writes a snapshot of the world. It returns the number of entities
+// whose states were opaque (present in the world but not serializable).
+func Save(w *core.World, out io.Writer) (opaque int, err error) {
+	snap := snapshot{Groups: make(map[uint64][]uint64)}
+	for _, e := range w.Entities() {
+		rec := entityRec{ID: uint64(e.ID), Kind: uint8(e.Kind), Label: w.Label(e)}
+		switch s := w.State(e).(type) {
+		case nil:
+			// stateless
+		case *dirtree.FileData:
+			rec.HasFile = true
+			rec.Content = s.Content
+			for _, p := range s.Embedded {
+				comp := make([]string, len(p))
+				for i, n := range p {
+					comp[i] = string(n)
+				}
+				rec.Embedded = append(rec.Embedded, comp)
+			}
+		default:
+			if ctx, ok := w.ContextOf(e); ok {
+				rec.HasContext = true
+				for _, n := range ctx.Names() {
+					to := ctx.Lookup(n)
+					if to.IsUndefined() {
+						continue
+					}
+					rec.Bindings = append(rec.Bindings, bindingRec{
+						Name: string(n), To: uint64(to.ID), Kind: uint8(to.Kind),
+					})
+				}
+			} else {
+				rec.Opaque = true
+				opaque++
+			}
+		}
+		snap.Entities = append(snap.Entities, rec)
+
+		if g, ok := w.ReplicaGroup(e); ok {
+			snap.Groups[uint64(g)] = append(snap.Groups[uint64(g)], uint64(e.ID))
+		}
+	}
+	if err := gob.NewEncoder(out).Encode(snap); err != nil {
+		return opaque, fmt.Errorf("encode snapshot: %w", err)
+	}
+	return opaque, nil
+}
+
+// Load reconstructs a world from a snapshot. Entity IDs are preserved, so
+// entities loaded from the same snapshot are comparable across loads.
+func Load(in io.Reader) (*core.World, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(in).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode snapshot: %w: %v", ErrBadSnapshot, err)
+	}
+	w := core.NewWorld()
+
+	// Recreate entities in ID order; IDs must come out identical.
+	sort.Slice(snap.Entities, func(i, j int) bool {
+		return snap.Entities[i].ID < snap.Entities[j].ID
+	})
+	contexts := make(map[uint64]*core.BasicContext)
+	for _, rec := range snap.Entities {
+		var e core.Entity
+		switch core.Kind(rec.Kind) {
+		case core.KindActivity:
+			e = w.NewActivity(rec.Label)
+			if rec.HasContext {
+				ctx := core.NewContext()
+				if err := w.SetState(e, ctx); err != nil {
+					return nil, err
+				}
+				contexts[rec.ID] = ctx
+			}
+		case core.KindObject:
+			if rec.HasContext {
+				var ctx *core.BasicContext
+				e, ctx = w.NewContextObject(rec.Label)
+				contexts[rec.ID] = ctx
+			} else {
+				e = w.NewObject(rec.Label)
+			}
+		default:
+			return nil, fmt.Errorf("entity %d has kind %d: %w", rec.ID, rec.Kind, ErrBadSnapshot)
+		}
+		if uint64(e.ID) != rec.ID {
+			return nil, fmt.Errorf("entity %d reloaded as %d (snapshot has gaps): %w",
+				rec.ID, e.ID, ErrBadSnapshot)
+		}
+		if rec.HasFile {
+			data := &dirtree.FileData{Content: rec.Content}
+			for _, comp := range rec.Embedded {
+				p := make(core.Path, len(comp))
+				for i, c := range comp {
+					p[i] = core.Name(c)
+				}
+				data.Embedded = append(data.Embedded, p)
+			}
+			if err := w.SetState(e, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Bindings, now that all entities exist.
+	for _, rec := range snap.Entities {
+		if !rec.HasContext {
+			continue
+		}
+		ctx := contexts[rec.ID]
+		for _, b := range rec.Bindings {
+			to := core.Entity{ID: core.EntityID(b.To), Kind: core.Kind(b.Kind)}
+			if !w.Exists(to) {
+				return nil, fmt.Errorf("binding %q of entity %d points at missing %d: %w",
+					b.Name, rec.ID, b.To, ErrBadSnapshot)
+			}
+			ctx.Bind(core.Name(b.Name), to)
+		}
+	}
+
+	// Replica groups (group ids are not preserved, membership is).
+	groupIDs := make([]uint64, 0, len(snap.Groups))
+	for g := range snap.Groups {
+		groupIDs = append(groupIDs, g)
+	}
+	sort.Slice(groupIDs, func(i, j int) bool { return groupIDs[i] < groupIDs[j] })
+	for _, g := range groupIDs {
+		ids := snap.Groups[g]
+		members := make([]core.Entity, 0, len(ids))
+		for _, id := range ids {
+			for _, k := range []core.Kind{core.KindObject, core.KindActivity} {
+				e := core.Entity{ID: core.EntityID(id), Kind: k}
+				if w.Exists(e) {
+					members = append(members, e)
+					break
+				}
+			}
+		}
+		if len(members) != len(ids) {
+			return nil, fmt.Errorf("replica group %d has missing members: %w", g, ErrBadSnapshot)
+		}
+		if _, err := w.NewReplicaGroup(members...); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}

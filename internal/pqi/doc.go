@@ -1,0 +1,17 @@
+// Package pqi implements partially qualified identifiers for communicating
+// processes (§6 Example 1 of the paper; Radia & Pachl, "Identifiers for
+// End-Points in Dynamically Connected Systems").
+//
+// A process with local address l on machine m and network n has, depending
+// on the context of reference, the pids (0,0,0), (0,0,l), (0,m,l) and
+// (n,m,l): pids are qualified only as far as necessary. A pid embedded in a
+// message is valid in the context of the sender, but not necessarily of the
+// receiver; the resolution rule is R(sender), implemented by mapping the
+// embedded pid at the communication boundary (Map).
+//
+// The advantage over conventional fully qualified pids: when a machine or
+// network is renumbered, pids of local processes within the renamed
+// subsystem remain valid, so the subsystem maintains its internal
+// connections and does not have to be shut down. Experiment E7 measures
+// exactly this.
+package pqi

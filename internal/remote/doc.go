@@ -1,0 +1,11 @@
+// Package remote puts the Newcastle Connection on the wire: every machine
+// of the system runs a name server exporting its local tree, and processes
+// resolve names that cross a machine boundary ("/../<machine>/…") by
+// calling the target machine's server over a real connection.
+//
+// This is the deployment shape the paper assumes — "resolving a name bound
+// on another machine involves the other machine" — and it makes the cost
+// of incoherence measurable: local names resolve in-process, coherent
+// super-root names pay a network round-trip (amortizable with the client
+// cache).
+package remote

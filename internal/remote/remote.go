@@ -1,0 +1,209 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/machine"
+	"namecoherence/internal/nameserver"
+	"namecoherence/internal/newcastle"
+)
+
+// ErrClusterClosed is returned by operations on a closed cluster.
+var ErrClusterClosed = errors.New("cluster closed")
+
+// Cluster is a Newcastle system whose machines each export their tree
+// through a name server on a TCP loopback listener.
+type Cluster struct {
+	// System is the underlying Newcastle Connection.
+	System *newcastle.System
+
+	mu        sync.Mutex
+	servers   map[string]*nameserver.Server
+	listeners map[string]net.Listener
+	done      map[string]chan struct{}
+	closed    bool
+}
+
+// NewCluster builds the system and starts one server per machine.
+func NewCluster(w *core.World, machineNames ...string) (*Cluster, error) {
+	sys, err := newcastle.NewSystem(w, machineNames...)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		System:    sys,
+		servers:   make(map[string]*nameserver.Server, len(machineNames)),
+		listeners: make(map[string]net.Listener, len(machineNames)),
+		done:      make(map[string]chan struct{}, len(machineNames)),
+	}
+	for _, name := range machineNames {
+		m, err := sys.Machine(name)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv := nameserver.NewServer(w, m.Tree.RootContext())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("listen for %q: %w", name, err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.Serve(ln)
+		}()
+		c.servers[name] = srv
+		c.listeners[name] = ln
+		c.done[name] = done
+	}
+	return c, nil
+}
+
+// Addr returns the wire address of a machine's name server.
+func (c *Cluster) Addr(machineName string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ln, ok := c.listeners[machineName]
+	if !ok {
+		return "", fmt.Errorf("addr of %q: %w", machineName, newcastle.ErrUnknownMachine)
+	}
+	return ln.Addr().String(), nil
+}
+
+// Server returns a machine's name server (for request counters).
+func (c *Cluster) Server(machineName string) (*nameserver.Server, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.servers[machineName]
+	if !ok {
+		return nil, fmt.Errorf("server of %q: %w", machineName, newcastle.ErrUnknownMachine)
+	}
+	return s, nil
+}
+
+// Close stops every server and waits for their accept loops.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	servers := c.servers
+	done := c.done
+	c.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	for _, d := range done {
+		<-d
+	}
+}
+
+// Spawn creates a wire-resolving process on the named machine.
+func (c *Cluster) Spawn(machineName, label string, opts ...nameserver.ClientOption) (*Proc, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClusterClosed
+	}
+	c.mu.Unlock()
+	p, err := c.System.Spawn(machineName, label)
+	if err != nil {
+		return nil, err
+	}
+	return &Proc{
+		cluster: c,
+		process: p,
+		opts:    opts,
+		clients: make(map[string]*nameserver.Client),
+	}, nil
+}
+
+// Proc is a process whose cross-machine resolutions go over the wire.
+type Proc struct {
+	cluster *Cluster
+	process *machine.Process
+	opts    []nameserver.ClientOption
+
+	mu          sync.Mutex
+	clients     map[string]*nameserver.Client
+	localCount  int
+	remoteCount int
+}
+
+// Process returns the underlying process (for local-only operations).
+func (p *Proc) Process() *machine.Process { return p.process }
+
+// client returns (dialing if needed) the connection to a machine's server.
+func (p *Proc) client(machineName string) (*nameserver.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cl, ok := p.clients[machineName]; ok {
+		return cl, nil
+	}
+	addr, err := p.cluster.Addr(machineName)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := nameserver.Dial("tcp", addr, p.opts...)
+	if err != nil {
+		return nil, fmt.Errorf("dial %q: %w", machineName, err)
+	}
+	p.clients[machineName] = cl
+	return cl, nil
+}
+
+// Resolve resolves a textual name. Names of the form "/../<machine>/rest"
+// are resolved by the target machine's name server over the wire; all
+// other names resolve in the local process context.
+func (p *Proc) Resolve(name string) (core.Entity, error) {
+	abs, path := core.SplitPathString(name)
+	if abs && len(path) >= 2 && path[0] == dirtree.ParentName {
+		target := string(path[1])
+		rest := path[2:]
+		if len(rest) == 0 {
+			// The machine root itself: known locally to the system.
+			m, err := p.cluster.System.Machine(target)
+			if err != nil {
+				return core.Undefined, err
+			}
+			return m.Tree.Root, nil
+		}
+		cl, err := p.client(target)
+		if err != nil {
+			return core.Undefined, err
+		}
+		p.mu.Lock()
+		p.remoteCount++
+		p.mu.Unlock()
+		return cl.Resolve(rest)
+	}
+	p.mu.Lock()
+	p.localCount++
+	p.mu.Unlock()
+	return p.process.Resolve(name)
+}
+
+// Stats returns how many resolutions went local vs over the wire.
+func (p *Proc) Stats() (local, remote int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.localCount, p.remoteCount
+}
+
+// Close closes the process's wire connections.
+func (p *Proc) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for name, cl := range p.clients {
+		_ = cl.Close()
+		delete(p.clients, name)
+	}
+}

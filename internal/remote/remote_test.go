@@ -1,0 +1,203 @@
+package remote
+
+import (
+	"errors"
+	"testing"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/nameserver"
+	"namecoherence/internal/newcastle"
+)
+
+// cluster builds a two-machine wire cluster with files on each machine.
+func cluster(t *testing.T) (*core.World, *Cluster) {
+	t.Helper()
+	w := core.NewWorld()
+	c, err := NewCluster(w, "m1", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for _, mn := range c.System.MachineNames() {
+		m, err := c.System.Machine(mn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Tree.Create(core.ParsePath("etc/passwd"), "users@"+mn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w, c
+}
+
+func TestLocalResolutionStaysLocal(t *testing.T) {
+	_, c := cluster(t)
+	p, err := c.Spawn("m1", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got, err := p.Resolve("/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := c.System.Machine("m1")
+	want, _ := m1.Tree.Lookup(core.ParsePath("etc/passwd"))
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	local, remote := p.Stats()
+	if local != 1 || remote != 0 {
+		t.Fatalf("stats = (%d,%d)", local, remote)
+	}
+}
+
+func TestCrossMachineOverWire(t *testing.T) {
+	_, c := cluster(t)
+	p, err := c.Spawn("m1", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	got, err := p.Resolve("/../m2/etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := c.System.Machine("m2")
+	want, _ := m2.Tree.Lookup(core.ParsePath("etc/passwd"))
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	local, remote := p.Stats()
+	if local != 0 || remote != 1 {
+		t.Fatalf("stats = (%d,%d)", local, remote)
+	}
+	// The request really hit m2's server.
+	srv, err := c.Server("m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Served() != 1 {
+		t.Fatalf("m2 served = %d", srv.Served())
+	}
+}
+
+// The wire path and the in-process super-root path agree: the same
+// compound name denotes the same entity whichever way it is resolved.
+func TestWireAgreesWithDirectResolution(t *testing.T) {
+	_, c := cluster(t)
+	p, err := c.Spawn("m1", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	name := "/../m2/etc/passwd"
+	overWire, err := p.Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := p.Process().Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overWire != direct {
+		t.Fatalf("wire %v != direct %v", overWire, direct)
+	}
+}
+
+func TestMachineRootResolution(t *testing.T) {
+	_, c := cluster(t)
+	p, err := c.Spawn("m1", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	got, err := p.Resolve("/../m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := c.System.Machine("m2")
+	if got != m2.Tree.Root {
+		t.Fatalf("got %v, want m2 root", got)
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	_, c := cluster(t)
+	p, err := c.Spawn("m1", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Resolve("/../nope/etc"); !errors.Is(err, newcastle.ErrUnknownMachine) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Resolve("/../nope"); !errors.Is(err, newcastle.ErrUnknownMachine) {
+		t.Fatalf("root err = %v", err)
+	}
+}
+
+func TestRemoteMiss(t *testing.T) {
+	_, c := cluster(t)
+	p, err := c.Spawn("m1", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var re *nameserver.RemoteError
+	if _, err := p.Resolve("/../m2/no/such"); !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestClientReuseAndCache(t *testing.T) {
+	_, c := cluster(t)
+	p, err := c.Spawn("m1", "p", nameserver.WithCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := p.Resolve("/../m2/etc/passwd"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, _ := c.Server("m2")
+	if srv.Served() != 1 {
+		t.Fatalf("served = %d, want 1 (client cache)", srv.Served())
+	}
+	_, remote := p.Stats()
+	if remote != 5 {
+		t.Fatalf("remote count = %d", remote)
+	}
+}
+
+func TestSpawnErrors(t *testing.T) {
+	_, c := cluster(t)
+	if _, err := c.Spawn("nope", "p"); !errors.Is(err, newcastle.ErrUnknownMachine) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClusterCloseIdempotentAndBlocksSpawn(t *testing.T) {
+	w := core.NewWorld()
+	c, err := NewCluster(w, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+	if _, err := c.Spawn("m1", "p"); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Addr("nope"); err == nil {
+		t.Fatal("unknown addr accepted")
+	}
+	if _, err := c.Server("nope"); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package replsvc provides a replicated name service: several name servers
+// each export a replica of the same logical tree, and a client pool spreads
+// resolution over them with failover.
+//
+// Because each replica binds its own copies of the files, two resolutions
+// of the same name served by different replicas return different entities —
+// but entities in the same replica group. This is exactly the paper's weak
+// coherence (§5): for replicated objects, agreement up to replica identity
+// is sufficient, and demanding strict coherence would be "unnecessarily
+// restrictive". Experiment E11 measures it over the wire.
+package replsvc

@@ -1,0 +1,258 @@
+package replsvc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/nameserver"
+	"namecoherence/internal/treespec"
+)
+
+// Errors returned by the replicated service.
+var (
+	ErrNoReplicas  = errors.New("no replicas")
+	ErrAllReplicas = errors.New("all replicas failed")
+)
+
+// ReplicaSet is a group of name servers exporting replicas of one logical
+// tree. The replicas are built from a single treespec, so they have
+// identical structure; every file at the same path across replicas belongs
+// to one replica group in the world.
+type ReplicaSet struct {
+	// World holds all replica entities.
+	World *core.World
+	// Trees are the replica trees, in replica order.
+	Trees []*dirtree.Tree
+
+	mu        sync.Mutex
+	servers   []*nameserver.Server
+	listeners []net.Listener
+	done      []chan struct{}
+	closed    bool
+}
+
+// NewReplicaSet builds n replicas of the tree described by spec and serves
+// each on its own TCP loopback listener.
+func NewReplicaSet(w *core.World, spec string, n int) (*ReplicaSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("replica count %d: %w", n, ErrNoReplicas)
+	}
+	rs := &ReplicaSet{World: w}
+	for i := 0; i < n; i++ {
+		tr, err := treespec.Build(spec, w, fmt.Sprintf("replica%d", i))
+		if err != nil {
+			rs.Close()
+			return nil, fmt.Errorf("build replica %d: %w", i, err)
+		}
+		rs.Trees = append(rs.Trees, tr)
+	}
+	if err := rs.registerGroups(); err != nil {
+		rs.Close()
+		return nil, err
+	}
+	for i, tr := range rs.Trees {
+		srv := nameserver.NewServer(w, tr.RootContext())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			rs.Close()
+			return nil, fmt.Errorf("listen for replica %d: %w", i, err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.Serve(ln)
+		}()
+		rs.mu.Lock()
+		rs.servers = append(rs.servers, srv)
+		rs.listeners = append(rs.listeners, ln)
+		rs.done = append(rs.done, done)
+		rs.mu.Unlock()
+	}
+	return rs, nil
+}
+
+// registerGroups walks replica 0 and registers, for every file path, the
+// group of the corresponding files of all replicas. Directories are not
+// grouped: the model's weak coherence is about replicated objects.
+func (rs *ReplicaSet) registerGroups() error {
+	var firstErr error
+	rs.Trees[0].Walk(func(p core.Path, e core.Entity) bool {
+		if firstErr != nil {
+			return false
+		}
+		if _, err := rs.Trees[0].File(e); err != nil {
+			return true // directories continue, not grouped
+		}
+		members := make([]core.Entity, 0, len(rs.Trees))
+		members = append(members, e)
+		for _, tr := range rs.Trees[1:] {
+			twin, err := tr.Lookup(p)
+			if err != nil {
+				firstErr = fmt.Errorf("replica missing %q: %w", p, err)
+				return false
+			}
+			members = append(members, twin)
+		}
+		if _, err := rs.World.NewReplicaGroup(members...); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// Addrs returns the wire addresses of the replica servers.
+func (rs *ReplicaSet) Addrs() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]string, len(rs.listeners))
+	for i, ln := range rs.listeners {
+		out[i] = ln.Addr().String()
+	}
+	return out
+}
+
+// StopReplica shuts down one replica's server (simulating a failure).
+func (rs *ReplicaSet) StopReplica(i int) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if i < 0 || i >= len(rs.servers) {
+		return fmt.Errorf("replica %d: %w", i, ErrNoReplicas)
+	}
+	rs.servers[i].Close()
+	<-rs.done[i]
+	return nil
+}
+
+// Close stops all replica servers.
+func (rs *ReplicaSet) Close() {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return
+	}
+	rs.closed = true
+	servers := rs.servers
+	done := rs.done
+	rs.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	for _, d := range done {
+		<-d
+	}
+}
+
+// Pool is a client of a replica set: it rotates resolution over the
+// replicas and fails over when one is unreachable.
+type Pool struct {
+	addrs []string
+
+	mu      sync.Mutex
+	clients map[int]*nameserver.Client
+	next    int
+	// Failovers counts resolutions that had to skip at least one replica.
+	failovers int
+}
+
+// NewPool returns a pool over the given server addresses.
+func NewPool(addrs []string) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoReplicas
+	}
+	return &Pool{
+		addrs:   append([]string(nil), addrs...),
+		clients: make(map[int]*nameserver.Client),
+	}, nil
+}
+
+// Resolve resolves p at the next replica in rotation, failing over to the
+// others if the connection cannot be established or dies. A RemoteError
+// (the name does not resolve) is a definitive answer, not a failure.
+func (p *Pool) Resolve(path core.Path) (core.Entity, error) {
+	p.mu.Lock()
+	start := p.next
+	p.next = (p.next + 1) % len(p.addrs)
+	p.mu.Unlock()
+
+	var lastErr error
+	for k := 0; k < len(p.addrs); k++ {
+		i := (start + k) % len(p.addrs)
+		client, err := p.clientFor(i)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		e, err := client.Resolve(path)
+		if err != nil {
+			var re *nameserver.RemoteError
+			if errors.As(err, &re) {
+				return core.Undefined, err // definitive miss
+			}
+			// Connection-level failure: drop the client and fail over.
+			p.dropClient(i)
+			lastErr = err
+			continue
+		}
+		if k > 0 {
+			p.mu.Lock()
+			p.failovers++
+			p.mu.Unlock()
+		}
+		return e, nil
+	}
+	return core.Undefined, fmt.Errorf("%w: %v", ErrAllReplicas, lastErr)
+}
+
+func (p *Pool) clientFor(i int) (*nameserver.Client, error) {
+	p.mu.Lock()
+	if c, ok := p.clients[i]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := nameserver.Dial("tcp", p.addrs[i])
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.clients[i]; ok {
+		_ = c.Close()
+		return prev, nil
+	}
+	p.clients[i] = c
+	return c, nil
+}
+
+func (p *Pool) dropClient(i int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[i]; ok {
+		_ = c.Close()
+		delete(p.clients, i)
+	}
+}
+
+// Failovers returns how many successful resolutions needed to skip at
+// least one replica.
+func (p *Pool) Failovers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failovers
+}
+
+// Close closes all pooled connections.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, c := range p.clients {
+		_ = c.Close()
+		delete(p.clients, i)
+	}
+}

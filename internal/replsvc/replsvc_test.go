@@ -1,0 +1,162 @@
+package replsvc
+
+import (
+	"errors"
+	"testing"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/nameserver"
+)
+
+const spec = `
+dir /usr/bin
+file /usr/bin/ls "#!ls"
+file /etc/passwd "root:0"
+`
+
+func newSet(t *testing.T, n int) (*core.World, *ReplicaSet, *Pool) {
+	t.Helper()
+	w := core.NewWorld()
+	rs, err := NewReplicaSet(w, spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rs.Close)
+	pool, err := NewPool(rs.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	return w, rs, pool
+}
+
+func TestReplicaSetErrors(t *testing.T) {
+	w := core.NewWorld()
+	if _, err := NewReplicaSet(w, spec, 0); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReplicaSet(w, "frob bad", 1); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := NewPool(nil); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("pool err = %v", err)
+	}
+}
+
+func TestRotationYieldsReplicas(t *testing.T) {
+	w, _, pool := newSet(t, 3)
+	p := core.ParsePath("usr/bin/ls")
+	seen := make(map[core.EntityID]bool)
+	first, err := pool.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen[first.ID] = true
+	for i := 0; i < 5; i++ {
+		e, err := pool.Resolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Weak coherence: every result is a replica of the first.
+		if !w.SameReplica(first, e) {
+			t.Fatalf("result %v not same-replica with %v", e, first)
+		}
+		seen[e.ID] = true
+	}
+	// Strict coherence fails: rotation visited distinct replica entities.
+	if len(seen) < 2 {
+		t.Fatalf("rotation returned only %d distinct entities", len(seen))
+	}
+}
+
+func TestDirectoriesNotGrouped(t *testing.T) {
+	w, rs, _ := newSet(t, 2)
+	d0, err := rs.Trees[0].Lookup(core.ParsePath("usr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := rs.Trees[1].Lookup(core.ParsePath("usr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SameReplica(d0, d1) {
+		t.Fatal("directories should not be replica-grouped")
+	}
+	f0, _ := rs.Trees[0].Lookup(core.ParsePath("etc/passwd"))
+	f1, _ := rs.Trees[1].Lookup(core.ParsePath("etc/passwd"))
+	if !w.SameReplica(f0, f1) {
+		t.Fatal("files should be replica-grouped")
+	}
+}
+
+func TestDefinitiveMiss(t *testing.T) {
+	_, _, pool := newSet(t, 2)
+	_, err := pool.Resolve(core.ParsePath("no/such"))
+	var re *nameserver.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError (definitive miss, no failover)", err)
+	}
+	if pool.Failovers() != 0 {
+		t.Fatalf("failovers = %d on a definitive miss", pool.Failovers())
+	}
+}
+
+func TestFailover(t *testing.T) {
+	_, rs, pool := newSet(t, 3)
+	p := core.ParsePath("usr/bin/ls")
+	// Warm all connections.
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.StopReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	// All subsequent resolutions still succeed (skipping the dead replica).
+	for i := 0; i < 6; i++ {
+		if _, err := pool.Resolve(p); err != nil {
+			t.Fatalf("resolve %d after failure: %v", i, err)
+		}
+	}
+	if pool.Failovers() == 0 {
+		t.Fatal("expected at least one failover")
+	}
+}
+
+func TestAllReplicasDown(t *testing.T) {
+	_, rs, pool := newSet(t, 2)
+	p := core.ParsePath("usr/bin/ls")
+	if _, err := pool.Resolve(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.StopReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.StopReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Resolve(p); !errors.Is(err, ErrAllReplicas) {
+		t.Fatalf("err = %v, want ErrAllReplicas", err)
+	}
+}
+
+func TestStopReplicaBounds(t *testing.T) {
+	_, rs, _ := newSet(t, 2)
+	if err := rs.StopReplica(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := rs.StopReplica(9); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	w := core.NewWorld()
+	rs, err := NewReplicaSet(w, spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Close()
+	rs.Close()
+}

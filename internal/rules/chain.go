@@ -1,0 +1,78 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"namecoherence/internal/core"
+)
+
+// Chain tries rules in order and selects the first context found,
+// skipping rules that fail with NoContextError. It models layered closure
+// mechanisms — e.g. "use the object's context if the object has one,
+// otherwise the activity's".
+type Chain struct {
+	// Rules are tried in order.
+	Rules []Rule
+}
+
+var _ Rule = (*Chain)(nil)
+
+// Select implements Rule.
+func (c *Chain) Select(m Circumstance) (core.Context, error) {
+	var lastErr error
+	for _, r := range c.Rules {
+		ctx, err := r.Select(m)
+		if err == nil {
+			return ctx, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = &NoContextError{Rule: c.String()}
+	}
+	return nil, fmt.Errorf("chain exhausted: %w", lastErr)
+}
+
+// String implements Rule.
+func (c *Chain) String() string {
+	parts := make([]string, len(c.Rules))
+	for i, r := range c.Rules {
+		parts[i] = r.String()
+	}
+	return "chain(" + strings.Join(parts, ",") + ")"
+}
+
+// ReceiverSenderRule is the composed rule R(receiver, sender) the paper
+// mentions and dismisses ("we have found no instances of, and no
+// justification for, such rules"): a per-(receiver, sender) context table
+// with a fallback to the receiver's own context. It exists so experiments
+// can demonstrate that it adds state without adding coherence beyond
+// R(sender).
+type ReceiverSenderRule struct {
+	// Pairs maps (receiver, sender) to contexts.
+	Pairs map[[2]core.EntityID]core.Context
+	// Fallback serves circumstances with no pair entry (keyed by the
+	// receiving activity).
+	Fallback *Assoc
+}
+
+var _ Rule = (*ReceiverSenderRule)(nil)
+
+// Select implements Rule.
+func (r *ReceiverSenderRule) Select(m Circumstance) (core.Context, error) {
+	if m.Origin == SourceMessage && !m.Sender.IsUndefined() {
+		if ctx, ok := r.Pairs[[2]core.EntityID{m.Activity.ID, m.Sender.ID}]; ok {
+			return ctx, nil
+		}
+	}
+	if r.Fallback != nil {
+		if ctx, ok := r.Fallback.Get(m.Activity); ok {
+			return ctx, nil
+		}
+	}
+	return nil, &NoContextError{Entity: m.Activity, Rule: r.String()}
+}
+
+// String implements Rule.
+func (r *ReceiverSenderRule) String() string { return "R(receiver,sender)" }

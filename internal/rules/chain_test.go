@@ -1,0 +1,123 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"namecoherence/internal/core"
+)
+
+func TestChainFallsThrough(t *testing.T) {
+	w, a1, _, actAssoc, _, x1, _ := twoActivityWorld(t)
+
+	// Object rule with an empty object table fails for object-sourced
+	// names; the chain falls through to the activity rule.
+	chain := &Chain{Rules: []Rule{
+		&ObjectRule{ObjectContexts: NewAssoc(), ActivityContexts: NewAssoc()},
+		&ActivityRule{Contexts: actAssoc},
+	}}
+	doc := w.NewObject("doc")
+	got, err := NewResolver(w, chain).Resolve(FromObject(a1, doc, nil), core.PathOf("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != x1 {
+		t.Fatalf("got %v, want fallback to activity context %v", got, x1)
+	}
+}
+
+func TestChainFirstWins(t *testing.T) {
+	w, a1, _, actAssoc, _, _, _ := twoActivityWorld(t)
+	special := core.NewContext()
+	xSpecial := w.NewObject("x-special")
+	special.Bind("x", xSpecial)
+
+	chain := &Chain{Rules: []Rule{
+		&FixedRule{Context: special, Label: "R(special)"},
+		&ActivityRule{Contexts: actAssoc},
+	}}
+	got, err := NewResolver(w, chain).Resolve(Internal(a1), core.PathOf("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != xSpecial {
+		t.Fatalf("got %v, want first rule's %v", got, xSpecial)
+	}
+}
+
+func TestChainExhausted(t *testing.T) {
+	w, a1, _, _, _, _, _ := twoActivityWorld(t)
+	chain := &Chain{Rules: []Rule{
+		&ActivityRule{Contexts: NewAssoc()},
+		&SenderRule{Contexts: NewAssoc()},
+	}}
+	if _, err := chain.Select(Internal(a1)); err == nil {
+		t.Fatal("exhausted chain did not error")
+	}
+	_ = w
+
+	var empty Chain
+	if _, err := empty.Select(Internal(a1)); err == nil {
+		t.Fatal("empty chain did not error")
+	}
+}
+
+func TestChainString(t *testing.T) {
+	chain := &Chain{Rules: []Rule{&ActivityRule{}, &SenderRule{}}}
+	s := chain.String()
+	if !strings.Contains(s, "R(activity)") || !strings.Contains(s, "R(sender)") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestReceiverSenderRule(t *testing.T) {
+	w, a1, a2, actAssoc, _, x1, x2 := twoActivityWorld(t)
+	pairCtx := core.NewContext()
+	xPair := w.NewObject("x-pair")
+	pairCtx.Bind("x", xPair)
+
+	r := &ReceiverSenderRule{
+		Pairs: map[[2]core.EntityID]core.Context{
+			{a2.ID, a1.ID}: pairCtx,
+		},
+		Fallback: actAssoc,
+	}
+	res := NewResolver(w, r)
+
+	// The (a2 receives from a1) pair uses the pair context.
+	got, err := res.Resolve(Received(a2, a1), core.PathOf("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != xPair {
+		t.Fatalf("pair context not used: %v", got)
+	}
+	// The reverse pair has no entry: fallback to receiver's own context.
+	got, err = res.Resolve(Received(a1, a2), core.PathOf("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != x1 {
+		t.Fatalf("fallback not used: %v", got)
+	}
+	// Internal names use the fallback too.
+	got, err = res.Resolve(Internal(a2), core.PathOf("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != x2 {
+		t.Fatalf("internal fallback: %v", got)
+	}
+	if r.String() != "R(receiver,sender)" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestReceiverSenderRuleNoContext(t *testing.T) {
+	w, a1, a2, _, _, _, _ := twoActivityWorld(t)
+	_ = w
+	r := &ReceiverSenderRule{}
+	if _, err := r.Select(Received(a2, a1)); err == nil {
+		t.Fatal("empty rule did not error")
+	}
+}

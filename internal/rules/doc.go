@@ -1,0 +1,16 @@
+// Package rules implements the paper's closure mechanisms: the implicit
+// rules that select a context for resolving a name that occurs in a
+// computation (§3).
+//
+// A resolution rule is a function R ∈ [M → C] from the meta context M — the
+// circumstances in which the name occurs — to the set of contexts C. The
+// circumstances captured here are the ones the paper identifies: the
+// activity performing the resolution, the activity the name was received
+// from (for names exchanged in messages), and the object the name was
+// obtained from (for embedded names), together with the access trail through
+// the naming graph.
+//
+// The package provides the three rules the paper analyses — R(activity),
+// R(sender) and R(object) — as values implementing the Rule interface, so
+// that experiments can sweep over rules as data.
+package rules

@@ -1,0 +1,36 @@
+package rules
+
+import (
+	"fmt"
+
+	"namecoherence/internal/core"
+)
+
+// Resolver binds a World and a Rule into the complete resolution pipeline:
+// the rule selects a context from the circumstances, and the compound name
+// is resolved in the selected context — R(arguments)(name).
+type Resolver struct {
+	World *core.World
+	Rule  Rule
+}
+
+// NewResolver returns a resolver using the given rule.
+func NewResolver(w *core.World, r Rule) *Resolver {
+	return &Resolver{World: w, Rule: r}
+}
+
+// Resolve selects a context for the circumstances and resolves p in it.
+func (r *Resolver) Resolve(m Circumstance, p core.Path) (core.Entity, error) {
+	e, _, err := r.ResolveTrail(m, p)
+	return e, err
+}
+
+// ResolveTrail is Resolve but also returns the trail of entities denoted by
+// each successive prefix of p.
+func (r *Resolver) ResolveTrail(m Circumstance, p core.Path) (core.Entity, []core.Entity, error) {
+	c, err := r.Rule.Select(m)
+	if err != nil {
+		return core.Undefined, nil, fmt.Errorf("select context: %w", err)
+	}
+	return r.World.ResolveTrail(c, p)
+}

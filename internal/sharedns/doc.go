@@ -1,0 +1,21 @@
+// Package sharedns implements the shared naming graph approach of §5.2 and
+// Figure 4: numerous client subsystems share one (or more) naming graphs
+// while keeping private local naming graphs.
+//
+// Each client machine attaches a shared tree into its local tree under a
+// common name — Andrew attaches the shared tree under /vice; OSF DCE
+// attaches the global directory under "/..." and a cell context under
+// "/.:". Only entities bound in a shared graph have names that are global
+// within the set of clients sharing it; names relative to the local graphs
+// are incoherent across clients.
+//
+// Replicated commands and libraries (/bin, /lib, …) are modelled by binding
+// a per-client instance in each local tree and registering the instances as
+// one replica group: strict coherence fails for those names but weak
+// coherence holds (§5).
+//
+// The same attachment machinery expresses §7's scoped name spaces: a name
+// space (/users, /services) may be attached under a common name for a
+// subset of clients — a group, an organization, or a whole federation —
+// which is how coherence scope is traded against autonomy.
+package sharedns

@@ -1,0 +1,189 @@
+package sharedns
+
+import (
+	"errors"
+	"fmt"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/machine"
+)
+
+// Conventional attachment names.
+const (
+	// ViceName is the Andrew-style attachment point for the shared tree.
+	ViceName core.Name = "vice"
+	// CellName is the DCE-style attachment point for the local cell
+	// context ("/.:" in DCE notation).
+	CellName core.Name = ".:"
+	// GlobalName is the DCE-style attachment point for the global
+	// directory service ("/..." in DCE notation).
+	GlobalName core.Name = "..."
+)
+
+// Errors returned by system operations.
+var (
+	ErrUnknownClient = errors.New("unknown client subsystem")
+	ErrNoMembers     = errors.New("space needs at least one member")
+)
+
+// Client is one client subsystem: a machine with a private local tree into
+// which shared spaces are attached.
+type Client struct {
+	// Name identifies the client.
+	Name string
+	// Machine carries the client's local tree and processes.
+	Machine *machine.Machine
+}
+
+// Space is a name space shared by a set of clients under a common name.
+type Space struct {
+	// Name is the common attachment name (e.g. "vice", "users").
+	Name core.Name
+	// Tree is the shared naming graph.
+	Tree *dirtree.Tree
+	// Members lists the client names sharing the space.
+	Members []string
+}
+
+// System is a shared-naming-graph system: clients plus shared spaces.
+type System struct {
+	// World is the shared world.
+	World *core.World
+	// Registry maps process activities to processes for probing.
+	Registry *machine.Registry
+
+	clients map[string]*Client
+	order   []string
+	spaces  []*Space
+}
+
+// NewSystem creates a system with the given client subsystems (no shared
+// spaces yet).
+func NewSystem(w *core.World, clientNames ...string) (*System, error) {
+	s := &System{
+		World:    w,
+		Registry: machine.NewRegistry(),
+		clients:  make(map[string]*Client, len(clientNames)),
+	}
+	for _, name := range clientNames {
+		if err := s.AddClient(name); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// AddClient creates a client subsystem with a fresh local tree.
+func (s *System) AddClient(name string) error {
+	if _, ok := s.clients[name]; ok {
+		return fmt.Errorf("add client %q: %w", name, dirtree.ErrExists)
+	}
+	s.clients[name] = &Client{Name: name, Machine: machine.New(s.World, name)}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Client returns the named client.
+func (s *System) Client(name string) (*Client, error) {
+	c, ok := s.clients[name]
+	if !ok {
+		return nil, fmt.Errorf("client %q: %w", name, ErrUnknownClient)
+	}
+	return c, nil
+}
+
+// ClientNames returns the client names in creation order.
+func (s *System) ClientNames() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Spaces returns the shared spaces in attachment order.
+func (s *System) Spaces() []*Space {
+	out := make([]*Space, len(s.spaces))
+	copy(out, s.spaces)
+	return out
+}
+
+// AttachSpace creates a fresh shared tree and attaches it under `name` in
+// the local root of every listed member (all clients if members is empty).
+// Several spaces may use the same name with disjoint member sets — that is
+// how DCE cells and per-organization /users spaces arise.
+func (s *System) AttachSpace(name core.Name, members ...string) (*Space, error) {
+	if len(members) == 0 {
+		members = s.ClientNames()
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("attach space %q: %w", name, ErrNoMembers)
+	}
+	tree := dirtree.New(s.World, "space:"+string(name))
+	sp := &Space{Name: name, Tree: tree, Members: append([]string(nil), members...)}
+	for _, m := range members {
+		c, err := s.Client(m)
+		if err != nil {
+			return nil, fmt.Errorf("attach space %q: %w", name, err)
+		}
+		if err := c.Machine.Tree.Attach(nil, name, tree.Root); err != nil {
+			return nil, fmt.Errorf("attach space %q to %q: %w", name, m, err)
+		}
+	}
+	s.spaces = append(s.spaces, sp)
+	return sp, nil
+}
+
+// AttachExistingSpace attaches an already-built tree (for example another
+// system's shared space, when federating) under `name` for the listed
+// members.
+func (s *System) AttachExistingSpace(name core.Name, root core.Entity, members ...string) error {
+	if len(members) == 0 {
+		members = s.ClientNames()
+	}
+	for _, m := range members {
+		c, err := s.Client(m)
+		if err != nil {
+			return fmt.Errorf("attach existing space %q: %w", name, err)
+		}
+		if err := c.Machine.Tree.Attach(nil, name, root); err != nil {
+			return fmt.Errorf("attach existing space %q to %q: %w", name, m, err)
+		}
+	}
+	return nil
+}
+
+// ReplicateCommand installs a per-client replica of a command or library at
+// the given local path on every client and registers the instances as one
+// replica group. Names such as /bin/ls then enjoy weak coherence (§5.2).
+func (s *System) ReplicateCommand(path string, content string) (core.GroupID, error) {
+	_, p := core.SplitPathString(path)
+	if !p.IsValid() {
+		return 0, fmt.Errorf("replicate %q: invalid path", path)
+	}
+	replicas := make([]core.Entity, 0, len(s.order))
+	for _, name := range s.order {
+		c := s.clients[name]
+		f, err := c.Machine.Tree.Create(p, content)
+		if err != nil {
+			return 0, fmt.Errorf("replicate %q on %q: %w", path, name, err)
+		}
+		replicas = append(replicas, f)
+	}
+	g, err := s.World.NewReplicaGroup(replicas...)
+	if err != nil {
+		return 0, fmt.Errorf("replicate %q: %w", path, err)
+	}
+	return g, nil
+}
+
+// Spawn creates a process on the named client, rooted at the client's local
+// tree, and registers it for probing.
+func (s *System) Spawn(clientName, label string) (*machine.Process, error) {
+	c, err := s.Client(clientName)
+	if err != nil {
+		return nil, err
+	}
+	p := c.Machine.Spawn(label)
+	s.Registry.Add(p)
+	return p, nil
+}

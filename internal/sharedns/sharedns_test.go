@@ -1,0 +1,240 @@
+package sharedns
+
+import (
+	"errors"
+	"testing"
+
+	"namecoherence/internal/coherence"
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+)
+
+// andrewSystem builds an Andrew-style system: three clients sharing a tree
+// at /vice, with local home directories and replicated /bin/ls.
+func andrewSystem(t *testing.T) (*core.World, *System, *Space) {
+	t.Helper()
+	w := core.NewWorld()
+	s, err := NewSystem(w, "ws1", "ws2", "ws3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vice, err := s.AttachSpace(ViceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vice.Tree.Create(core.ParsePath("usr/shared.txt"), "shared payload"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.ClientNames() {
+		c, _ := s.Client(name)
+		if _, err := c.Machine.Tree.Create(core.ParsePath("home/"+name+"/notes"), "local"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ReplicateCommand("/bin/ls", "#!ls"); err != nil {
+		t.Fatal(err)
+	}
+	return w, s, vice
+}
+
+func TestAddClientDuplicate(t *testing.T) {
+	w := core.NewWorld()
+	s, err := NewSystem(w, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClient("c1"); !errors.Is(err, dirtree.ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownClient(t *testing.T) {
+	w := core.NewWorld()
+	s, _ := NewSystem(w, "c1")
+	if _, err := s.Client("nope"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Spawn("nope", "p"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.AttachSpace("x", "nope"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAttachSpaceNoClients(t *testing.T) {
+	w := core.NewWorld()
+	s, _ := NewSystem(w)
+	if _, err := s.AttachSpace("x"); !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSharedNamesCoherent(t *testing.T) {
+	w, s, _ := andrewSystem(t)
+	var acts []core.Entity
+	for _, cn := range s.ClientNames() {
+		p, err := s.Spawn(cn, "probe")
+		if err != nil {
+			t.Fatal(err)
+		}
+		acts = append(acts, p.Activity)
+	}
+	// Names prefixed with the shared attachment are coherent among all
+	// clients.
+	rep := coherence.Measure(w, s.Registry.ResolveAbs, acts,
+		[]core.Path{core.ParsePath("vice/usr/shared.txt")})
+	if rep.StrictDegree() != 1 {
+		t.Fatalf("shared name not coherent: %+v", rep)
+	}
+}
+
+func TestLocalNamesIncoherent(t *testing.T) {
+	w, s, _ := andrewSystem(t)
+	p1, _ := s.Spawn("ws1", "p1")
+	p2, _ := s.Spawn("ws2", "p2")
+	// Each client has /home/<self>/notes locally; the *same* textual name
+	// /home/ws1/notes resolves on ws1 and fails on ws2 → incoherent.
+	rep := coherence.Measure(w, s.Registry.ResolveAbs,
+		[]core.Entity{p1.Activity, p2.Activity},
+		[]core.Path{core.ParsePath("home/ws1/notes")})
+	if rep.Incoherent != 1 {
+		t.Fatalf("local name coherent across clients: %+v", rep)
+	}
+}
+
+func TestReplicatedCommandsWeaklyCoherent(t *testing.T) {
+	w, s, _ := andrewSystem(t)
+	var acts []core.Entity
+	for _, cn := range s.ClientNames() {
+		p, _ := s.Spawn(cn, "probe")
+		acts = append(acts, p.Activity)
+	}
+	rep := coherence.Measure(w, s.Registry.ResolveAbs, acts,
+		[]core.Path{core.ParsePath("bin/ls")})
+	if rep.Weak != 1 {
+		t.Fatalf("replicated command not weakly coherent: %+v", rep)
+	}
+	if rep.Coherent != 0 {
+		t.Fatalf("replicated command unexpectedly strictly coherent: %+v", rep)
+	}
+}
+
+func TestReplicateCommandErrors(t *testing.T) {
+	w := core.NewWorld()
+	s, _ := NewSystem(w, "c1")
+	if _, err := s.ReplicateCommand("/", "x"); err == nil {
+		t.Fatal("expected error for invalid path")
+	}
+	if _, err := s.ReplicateCommand("/bin/ls", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReplicateCommand("/bin/ls", "x"); err == nil {
+		t.Fatal("expected error for duplicate replica path")
+	}
+}
+
+func TestCellSpaces(t *testing.T) {
+	w := core.NewWorld()
+	s, err := NewSystem(w, "a1", "a2", "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two DCE cells: {a1,a2} and {b1}, both attached at "/.:".
+	cellA, err := s.AttachSpace(CellName, "a1", "a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellB, err := s.AttachSpace(CellName, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cellA.Tree.Create(core.ParsePath("svc/db"), "db@cellA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cellB.Tree.Create(core.ParsePath("svc/db"), "db@cellB"); err != nil {
+		t.Fatal(err)
+	}
+
+	pa1, _ := s.Spawn("a1", "p")
+	pa2, _ := s.Spawn("a2", "p")
+	pb1, _ := s.Spawn("b1", "p")
+	cellPath := []core.Path{core.ParsePath(".:/svc/db")}
+
+	// Within a cell, cell-relative names are coherent.
+	rep := coherence.Measure(w, s.Registry.ResolveAbs,
+		[]core.Entity{pa1.Activity, pa2.Activity}, cellPath)
+	if rep.StrictDegree() != 1 {
+		t.Fatalf("within-cell incoherence: %+v", rep)
+	}
+	// Across cells, the same cell-relative name is incoherent — the
+	// paper's "incoherence arises for names that are relative to the cell
+	// context".
+	rep = coherence.Measure(w, s.Registry.ResolveAbs,
+		[]core.Entity{pa1.Activity, pb1.Activity}, cellPath)
+	if rep.Incoherent != 1 {
+		t.Fatalf("cross-cell coherence unexpectedly held: %+v", rep)
+	}
+}
+
+func TestAttachExistingSpace(t *testing.T) {
+	w := core.NewWorld()
+	s1, _ := NewSystem(w, "x1")
+	s2, _ := NewSystem(w, "y1")
+	sp, err := s1.AttachSpace("users", "x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Tree.Create(core.ParsePath("alice/prof"), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Federate: attach s1's users space into s2 under a prefix.
+	if err := s2.AttachExistingSpace("org1-users", sp.Tree.Root, "y1"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s2.Spawn("y1", "p")
+	got, err := p.Resolve("/org1-users/alice/prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sp.Tree.Lookup(core.ParsePath("alice/prof"))
+	if got != want {
+		t.Fatal("existing space attachment resolves wrongly")
+	}
+	if err := s2.AttachExistingSpace("z", sp.Tree.Root, "nope"); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpacesList(t *testing.T) {
+	_, s, _ := andrewSystem(t)
+	sps := s.Spaces()
+	if len(sps) != 1 || sps[0].Name != ViceName || len(sps[0].Members) != 3 {
+		t.Fatalf("Spaces = %+v", sps)
+	}
+}
+
+// The key contrast of §5.2: the shared graph gives coherence exactly for the
+// shared prefix; a mixed probe set shows partial coherence.
+func TestMixedProbeDegrees(t *testing.T) {
+	w, s, _ := andrewSystem(t)
+	p1, _ := s.Spawn("ws1", "p1")
+	p2, _ := s.Spawn("ws2", "p2")
+	acts := []core.Entity{p1.Activity, p2.Activity}
+	paths := []core.Path{
+		core.ParsePath("vice/usr/shared.txt"), // coherent
+		core.ParsePath("bin/ls"),              // weakly coherent
+		core.ParsePath("home/ws1/notes"),      // incoherent
+		core.ParsePath("no/such/file"),        // vacuous
+	}
+	rep := coherence.Measure(w, s.Registry.ResolveAbs, acts, paths)
+	if rep.Coherent != 1 || rep.Weak != 1 || rep.Incoherent != 1 || rep.Vacuous != 1 {
+		t.Fatalf("mixed report = %+v", rep)
+	}
+	if rep.StrictDegree() != 1.0/3 {
+		t.Fatalf("StrictDegree = %v", rep.StrictDegree())
+	}
+	if rep.WeakDegree() != 2.0/3 {
+		t.Fatalf("WeakDegree = %v", rep.WeakDegree())
+	}
+}

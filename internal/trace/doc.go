@@ -1,0 +1,6 @@
+// Package trace instruments contexts to count resolution traffic: how many
+// lookups each context object serves. Naming trees concentrate load at
+// their top — every compound name resolves its first component in the root
+// context — which is the classic argument for caching upper-level bindings
+// and for per-process roots; ablation A5 measures the concentration.
+package trace

@@ -1,0 +1,36 @@
+// Package naming is the public API of the namecoherence library: a
+// faithful implementation of the naming model, closure mechanisms and
+// coherence analysis of Radia & Pachl, "Coherence in Naming in Distributed
+// Computing Environments" (ICDCS 1993), together with the naming schemes
+// the paper analyses and the remedies it proposes.
+//
+// The model (Sections 2–3 of the paper):
+//
+//   - entities are activities (processes) and objects (files);
+//   - a Context is a function from names to entities; objects whose state
+//     is a context are directories, and compound names resolve through
+//     them;
+//   - a Rule (closure mechanism) selects the context in which a name
+//     occurring in a computation is resolved, from the Circumstance in
+//     which it occurs: R(activity), R(sender), R(object), or a fixed
+//     global context.
+//
+// Coherence (Section 4) is measured by probing names across activities:
+// Measure classifies each probe as coherent, weakly coherent (replicas of
+// one replicated object), vacuous or incoherent.
+//
+// The schemes (Section 5) and remedies (Section 6) are exposed as
+// sub-systems: the Newcastle Connection, the shared naming graph
+// (Andrew/DCE), cross-linked federations, partially qualified process
+// identifiers, Algol-scoped embedded names, and per-process namespaces.
+//
+// Quick start:
+//
+//	w := naming.NewWorld()
+//	root, dir := w.NewContextObject("root")
+//	file := w.NewObject("file")
+//	dir.Bind("f", file)
+//	e, err := w.Resolve(dir, naming.ParsePath("f"))
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package naming
