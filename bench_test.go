@@ -1,15 +1,18 @@
 // Package namecoherence holds the top-level benchmark harness: one
-// benchmark per experiment table (E1..E10, A1, A3 — see DESIGN.md and
+// benchmark per experiment table (E1..E14, A1..A5 — see DESIGN.md and
 // EXPERIMENTS.md) plus the microbenchmark ablations (A2: resolution cost
-// vs. path depth; name-server round-trips with and without caching).
+// vs. path depth; name-server round-trips with and without caching;
+// sharded-cluster throughput vs. batch size).
 package namecoherence
 
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 
+	"namecoherence/internal/cluster"
 	"namecoherence/internal/core"
 	"namecoherence/internal/dirtree"
 	"namecoherence/internal/experiments"
@@ -231,6 +234,58 @@ func BenchmarkNameServerRoundTrip(b *testing.B) {
 			_ = client.Close()
 			wg.Wait()
 		})
+	}
+}
+
+// BenchmarkE14ShardedCluster measures sharded-cluster resolution
+// throughput versus shard count and batch size (the raw wire cost E14's
+// table aggregates). Each iteration resolves the same 64-name slate
+// through an uncached client — batch=1 issues 64 round-trips, batch=64
+// issues one per shard — so ns/op compares directly and names/s shows the
+// amortization.
+func BenchmarkE14ShardedCluster(b *testing.B) {
+	const slate = 64
+	var spec strings.Builder
+	paths := make([]core.Path, 0, 128)
+	for d := 0; d < 16; d++ {
+		for f := 0; f < 8; f++ {
+			p := fmt.Sprintf("sub%02d/f%02d", d, f)
+			fmt.Fprintf(&spec, "file /%s %q\n", p, "x")
+			paths = append(paths, core.ParsePath(p))
+		}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		w := core.NewWorld()
+		cl, err := cluster.New(w, spec.String(), shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(b *testing.B) {
+				client, err := cluster.Dial("tcp", cl.Addrs()[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer client.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for at := 0; at < slate; at += batch {
+						results, err := client.ResolveBatch(paths[at : at+batch])
+						if err != nil {
+							b.Fatal(err)
+						}
+						for _, res := range results {
+							if res.Err != nil {
+								b.Fatal(res.Err)
+							}
+						}
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(slate*b.N)/b.Elapsed().Seconds(), "names/s")
+			})
+		}
+		cl.Close()
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command cohbench regenerates every experiment table of the reproduction:
-// one table per paper figure/claim (E1..E10) plus the ablations (A1, A3).
+// one table per paper figure/claim (E1..E14) plus the ablations (A1..A5).
 //
 // Usage:
 //

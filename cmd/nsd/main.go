@@ -1,11 +1,14 @@
 // Command nsd is a standalone name-server daemon: it builds a naming tree
 // from a treespec file (or a built-in demo tree) and serves resolution
-// requests over TCP until interrupted.
+// requests over TCP until interrupted. With -shard N it partitions the
+// tree across N name servers by prefix and serves all of them, printing
+// the routing table; any member can bootstrap an nsq -cluster client.
 //
 // Usage:
 //
 //	nsd                          # demo tree on 127.0.0.1:7474
 //	nsd -addr :9000 -spec t.spec # serve a spec file
+//	nsd -shard 4                 # serve the demo tree from 4 shards
 //	nsd -dump                    # print the served tree's spec and exit
 package main
 
@@ -15,7 +18,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 
+	"namecoherence/internal/cluster"
 	"namecoherence/internal/core"
 	"namecoherence/internal/dirtree"
 	"namecoherence/internal/nameserver"
@@ -42,41 +47,44 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("nsd", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7474", "listen address")
+	addr := fs.String("addr", "127.0.0.1:7474", "listen address (single-server mode)")
 	specPath := fs.String("spec", "", "treespec file to serve (default: built-in demo)")
 	dump := fs.Bool("dump", false, "print the served tree's spec and exit")
 	watch := fs.Bool("watch", true, "bump the revision on binding changes (coherent caches)")
+	shards := fs.Int("shard", 1, "partition the tree across this many prefix shards")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shard %d: need at least 1", *shards)
+	}
+
+	spec := demoSpec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec = string(data)
+	}
 
 	w := core.NewWorld()
-	var tr *dirtree.Tree
-	if *specPath == "" {
-		var err error
-		tr, err = treespec.Build(demoSpec, w, "demo")
-		if err != nil {
-			return fmt.Errorf("built-in spec: %w", err)
-		}
-	} else {
-		f, err := os.Open(*specPath)
-		if err != nil {
-			return err
-		}
-		tr, err = treespec.Parse(f, w, *specPath)
-		closeErr := f.Close()
-		if err != nil {
-			return err
-		}
-		if closeErr != nil {
-			return closeErr
-		}
-	}
-
 	if *dump {
+		tr, err := treespec.Build(spec, w, "nsd")
+		if err != nil {
+			return err
+		}
 		return treespec.Dump(tr, os.Stdout)
 	}
+	if *shards > 1 {
+		return runSharded(w, spec, *shards)
+	}
 
+	var tr *dirtree.Tree
+	tr, err := treespec.Build(spec, w, "nsd")
+	if err != nil {
+		return err
+	}
 	server := nameserver.NewServer(w, tr.RootContext())
 	if *watch {
 		watched := server.WatchExport(tr.Root)
@@ -93,12 +101,46 @@ func run(args []string) error {
 		defer close(done)
 		server.Serve(ln)
 	}()
-	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
-	<-interrupt
+	awaitInterrupt()
 	fmt.Println("shutting down")
 	server.Close()
 	<-done
 	fmt.Printf("served %d requests\n", server.Served())
 	return nil
+}
+
+// runSharded serves the spec from a prefix-partitioned cluster and prints
+// the routing table clients bootstrap from.
+func runSharded(w *core.World, spec string, shards int) error {
+	cl, err := cluster.New(w, spec, shards)
+	if err != nil {
+		return err
+	}
+	routes := cl.Routes()
+	fmt.Printf("nsd serving %d shards (interrupt to stop)\n", cl.Shards())
+	for i, a := range routes.Addrs {
+		fmt.Printf("  shard %d: %s\n", i, a)
+	}
+	prefixes := make([]string, 0, len(routes.Prefixes))
+	for p := range routes.Prefixes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		fmt.Printf("  /%s -> shard %d\n", p, routes.Prefixes[p])
+	}
+	fmt.Printf("  default -> shard %d\n", routes.Default)
+	fmt.Printf("bootstrap: nsq -cluster -addr %s <path>...\n", routes.Addrs[0])
+
+	awaitInterrupt()
+	fmt.Println("shutting down")
+	cl.Close()
+	fmt.Printf("served %d requests (%d names)\n", cl.Served(), cl.Resolved())
+	return nil
+}
+
+func awaitInterrupt() {
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	<-interrupt
 }

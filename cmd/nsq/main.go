@@ -1,10 +1,14 @@
 // Command nsq queries a running nsd name server: it resolves each path
-// argument and prints the resulting entity (or error).
+// argument and prints the resulting entity (or error). With -cluster it
+// bootstraps the routing table from the given address (any member of an
+// nsd -shard cluster) and routes each name to its shard; -batch resolves
+// all arguments with one round-trip per shard.
 //
 // Usage:
 //
 //	nsq /usr/bin/ls /etc/passwd
 //	nsq -addr 127.0.0.1:9000 -cache 16 -n 3 /usr/bin/ls
+//	nsq -cluster -addr 127.0.0.1:40001 -batch /usr/bin/ls /etc/passwd
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"namecoherence/internal/cluster"
 	"namecoherence/internal/core"
 	"namecoherence/internal/nameserver"
 )
@@ -25,15 +30,23 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("nsq", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7474", "server address")
+	addr := fs.String("addr", "127.0.0.1:7474", "server address (any cluster member with -cluster)")
 	cacheSize := fs.Int("cache", 0, "client cache size (0 = none)")
 	coherent := fs.Bool("coherent", false, "use the revision-tracked coherent cache")
 	repeat := fs.Int("n", 1, "resolve each path this many times")
+	clustered := fs.Bool("cluster", false, "treat -addr as a sharded-cluster member and route by prefix")
+	batch := fs.Bool("batch", false, "with -cluster: resolve all paths in one round-trip per shard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("no paths given")
+	}
+	if *batch && !*clustered {
+		return fmt.Errorf("-batch requires -cluster")
+	}
+	if *clustered {
+		return runCluster(*addr, *cacheSize, *batch, *repeat, fs.Args())
 	}
 
 	var opts []nameserver.ClientOption
@@ -61,6 +74,58 @@ func run(args []string) error {
 		}
 	}
 	if *cacheSize > 0 {
+		hits, misses := client.Stats()
+		fmt.Printf("cache: %d hits, %d misses\n", hits, misses)
+	}
+	return nil
+}
+
+// runCluster resolves the paths through a sharded-cluster client
+// bootstrapped from one member address. The cluster cache is always the
+// revision-tracked per-shard LRU.
+func runCluster(addr string, cacheSize int, batch bool, repeat int, args []string) error {
+	var opts []cluster.ClientOption
+	if cacheSize > 0 {
+		opts = append(opts, cluster.WithLRU(cacheSize))
+	}
+	client, err := cluster.Dial("tcp", addr, opts...)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	routes := client.Routes()
+	fmt.Printf("cluster: %d shards via %s\n", len(routes.Addrs), addr)
+
+	paths := make([]core.Path, len(args))
+	for i, arg := range args {
+		_, paths[i] = core.SplitPathString(arg)
+	}
+	for i := 0; i < repeat; i++ {
+		if batch {
+			results, err := client.ResolveBatch(paths)
+			if err != nil {
+				return err
+			}
+			for j, res := range results {
+				if res.Err != nil {
+					fmt.Printf("%-30s -> error: %v\n", args[j], res.Err)
+					continue
+				}
+				fmt.Printf("%-30s -> %v\n", args[j], res.Entity)
+			}
+			continue
+		}
+		for j, p := range paths {
+			e, err := client.Resolve(p)
+			if err != nil {
+				fmt.Printf("%-30s -> error: %v\n", args[j], err)
+				continue
+			}
+			fmt.Printf("%-30s -> %v\n", args[j], e)
+		}
+	}
+	if cacheSize > 0 {
 		hits, misses := client.Stats()
 		fmt.Printf("cache: %d hits, %d misses\n", hits, misses)
 	}

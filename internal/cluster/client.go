@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/lru"
+	"namecoherence/internal/nameserver"
+)
+
+// Client fronts a sharded cluster: it routes every name to the shard
+// serving its prefix, pools connections per shard, answers repeats from a
+// revision-tracked LRU cache, coalesces concurrent identical lookups, and
+// resolves batches with one round-trip per shard.
+type Client struct {
+	network string
+	routes  *nameserver.RouteInfo
+	pools   []*connPool
+
+	mu        sync.Mutex
+	cache     *lru.Cache[string, cacheEntry]
+	revs      []uint64 // per-shard binding revision last seen
+	flights   map[string]*flight
+	hits      int
+	misses    int
+	coalesced int
+	purges    int
+}
+
+// cacheEntry tags each cached binding with its shard, so a revision
+// advance purges exactly the entries that shard vouched for.
+type cacheEntry struct {
+	entity core.Entity
+	shard  int
+}
+
+// flight is one in-progress resolution that concurrent identical lookups
+// wait on instead of issuing their own round-trips.
+type flight struct {
+	done chan struct{}
+	e    core.Entity
+	err  error
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	apply(*Client)
+}
+
+type lruOption int
+
+func (o lruOption) apply(c *Client) {
+	c.cache = lru.New[string, cacheEntry](int(o))
+}
+
+// WithLRU enables a revision-tracked LRU cache of at most n entries.
+// Every response carries its shard's binding revision; when a shard's
+// revision advances, that shard's entries are purged before anything new
+// is trusted — the coherent-cache staleness bound, per shard.
+func WithLRU(n int) ClientOption {
+	return lruOption(n)
+}
+
+type poolOption int
+
+func (o poolOption) apply(c *Client) {
+	for _, p := range c.pools {
+		p.max = int(o)
+	}
+}
+
+// WithPoolSize caps the idle connections kept per shard (default 2).
+// Concurrent requests beyond the cap still run — they dial and discard.
+func WithPoolSize(n int) ClientOption {
+	return poolOption(n)
+}
+
+// defaultPoolSize is the idle-connection cap per shard.
+const defaultPoolSize = 2
+
+// NewClient returns a client over an already-known routing table.
+func NewClient(network string, routes *nameserver.RouteInfo, opts ...ClientOption) *Client {
+	c := &Client{
+		network: network,
+		routes:  routes.Clone(),
+		pools:   make([]*connPool, len(routes.Addrs)),
+		revs:    make([]uint64, len(routes.Addrs)),
+		flights: make(map[string]*flight),
+	}
+	for i, addr := range routes.Addrs {
+		c.pools[i] = &connPool{network: network, addr: addr, max: defaultPoolSize}
+	}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// Dial bootstraps a cluster client from any one member: it fetches the
+// routing table from the seed server and connects per shard on demand.
+func Dial(network, seedAddr string, opts ...ClientOption) (*Client, error) {
+	seed, err := nameserver.Dial(network, seedAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dial cluster seed: %w", err)
+	}
+	routes, err := seed.Routes()
+	closeErr := seed.Close()
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap routes from %s: %w", seedAddr, err)
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	return NewClient(network, routes, opts...), nil
+}
+
+// Routes returns the routing table the client operates with.
+func (c *Client) Routes() *nameserver.RouteInfo { return c.routes.Clone() }
+
+// Resolve resolves one compound name: from the cache if possible, else by
+// one round-trip to the shard serving the name's prefix. Concurrent
+// resolutions of the same name share one round-trip.
+func (c *Client) Resolve(p core.Path) (core.Entity, error) {
+	key := p.String()
+	c.mu.Lock()
+	if c.cache != nil {
+		if entry, ok := c.cache.Get(key); ok {
+			c.hits++
+			c.mu.Unlock()
+			return entry.entity, nil
+		}
+	}
+	if f, ok := c.flights[key]; ok {
+		// Someone is already fetching this name: share their answer.
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.e, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	shard := c.routes.ShardFor(p)
+	e, rev, err := c.resolveAtShard(shard, p)
+
+	c.mu.Lock()
+	c.noteRevision(shard, rev, err)
+	if err == nil && c.cache != nil {
+		c.cache.Put(key, cacheEntry{entity: e, shard: shard})
+	}
+	delete(c.flights, key)
+	c.mu.Unlock()
+	f.e, f.err = e, err
+	close(f.done)
+	return e, err
+}
+
+// resolveAtShard runs one single-name round-trip against a pooled
+// connection of the shard.
+func (c *Client) resolveAtShard(shard int, p core.Path) (core.Entity, uint64, error) {
+	conn, err := c.pools[shard].get()
+	if err != nil {
+		return core.Undefined, 0, err
+	}
+	e, rev, err := conn.ResolveRev(p)
+	if err != nil && !isRemote(err) {
+		// Transport failure: the connection is poisoned, drop it.
+		_ = conn.Close()
+		return core.Undefined, 0, err
+	}
+	c.pools[shard].put(conn)
+	return e, rev, err
+}
+
+// noteRevision applies the per-shard purge rule. Callers hold c.mu. The
+// revision is trusted only from successful or remote-failed responses
+// (rev 0 from a transport error must not purge anything).
+func (c *Client) noteRevision(shard int, rev uint64, err error) {
+	if err != nil && !isRemote(err) {
+		return
+	}
+	if c.cache == nil || rev == c.revs[shard] {
+		return
+	}
+	// The shard's subtree changed since its entries were fetched: purge
+	// everything that shard vouched for before trusting anything new.
+	if removed := c.cache.DeleteFunc(func(_ string, e cacheEntry) bool {
+		return e.shard != shard
+	}); removed > 0 {
+		c.purges++
+	}
+	c.revs[shard] = rev
+}
+
+// BatchResult is one outcome of a batched cluster resolution.
+type BatchResult = nameserver.BatchResult
+
+// ResolveBatch resolves every path with at most one round-trip per shard:
+// cache hits are answered locally, the rest are grouped by shard,
+// deduplicated, and sent as wire batches in parallel. Results are in
+// argument order; the returned error reports a transport failure.
+func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
+	out := make([]BatchResult, len(paths))
+	if len(paths) == 0 {
+		return out, nil
+	}
+
+	// Partition into per-shard work lists of unique keys.
+	type shardWork struct {
+		keys  []core.Path
+		index map[string][]int // key -> positions in paths
+	}
+	work := make(map[int]*shardWork)
+	c.mu.Lock()
+	for i, p := range paths {
+		key := p.String()
+		if c.cache != nil {
+			if entry, ok := c.cache.Get(key); ok {
+				c.hits++
+				out[i] = BatchResult{Entity: entry.entity}
+				continue
+			}
+		}
+		c.misses++
+		shard := c.routes.ShardFor(p)
+		w := work[shard]
+		if w == nil {
+			w = &shardWork{index: make(map[string][]int)}
+			work[shard] = w
+		}
+		if _, seen := w.index[key]; !seen {
+			w.keys = append(w.keys, p)
+		}
+		w.index[key] = append(w.index[key], i)
+	}
+	c.mu.Unlock()
+	if len(work) == 0 {
+		return out, nil
+	}
+
+	// One concurrent wire batch per shard.
+	type shardAnswer struct {
+		shard   int
+		results []BatchResult
+		rev     uint64
+		err     error
+	}
+	answers := make(chan shardAnswer, len(work))
+	for shard, w := range work {
+		go func(shard int, w *shardWork) {
+			conn, err := c.pools[shard].get()
+			if err != nil {
+				answers <- shardAnswer{shard: shard, err: err}
+				return
+			}
+			results, rev, err := conn.ResolveBatchRev(w.keys)
+			if err != nil {
+				_ = conn.Close()
+				answers <- shardAnswer{shard: shard, err: err}
+				return
+			}
+			c.pools[shard].put(conn)
+			answers <- shardAnswer{shard: shard, results: results, rev: rev}
+		}(shard, w)
+	}
+
+	var firstErr error
+	for range work {
+		a := <-answers
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", a.shard, a.err)
+			}
+			continue
+		}
+		w := work[a.shard]
+		c.mu.Lock()
+		c.noteRevision(a.shard, a.rev, nil)
+		for k, res := range a.results {
+			key := w.keys[k].String()
+			if res.Err == nil && c.cache != nil {
+				c.cache.Put(key, cacheEntry{entity: res.Entity, shard: a.shard})
+			}
+			for _, i := range w.index[key] {
+				out[i] = res
+			}
+		}
+		c.mu.Unlock()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Stats returns cache hits and misses so far (coalesced lookups count as
+// neither; see Coalesced).
+func (c *Client) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Coalesced returns how many lookups were answered by piggybacking on a
+// concurrent identical request instead of their own round-trip.
+func (c *Client) Coalesced() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
+}
+
+// Purges returns how many times a shard revision advance purged that
+// shard's cache entries.
+func (c *Client) Purges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.purges
+}
+
+// Close closes every pooled connection.
+func (c *Client) Close() {
+	for _, p := range c.pools {
+		p.close()
+	}
+}
+
+// isRemote reports whether err is a definitive server-side answer (the
+// name does not resolve) rather than a transport failure.
+func isRemote(err error) bool {
+	var re *nameserver.RemoteError
+	return errors.As(err, &re)
+}
+
+// connPool keeps idle connections to one shard. Concurrent requests each
+// get their own connection, so lookups to one shard can overlap; at most
+// max idle connections are retained.
+type connPool struct {
+	network string
+	addr    string
+	max     int
+
+	mu     sync.Mutex
+	free   []*nameserver.Client
+	closed bool
+}
+
+// get pops an idle connection or dials a new one.
+func (p *connPool) get() (*nameserver.Client, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		conn := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+	return nameserver.Dial(p.network, p.addr)
+}
+
+// put returns a healthy connection to the pool (or closes it when the
+// pool is full or closed).
+func (p *connPool) put(conn *nameserver.Client) {
+	p.mu.Lock()
+	if p.closed || len(p.free) >= p.max {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	p.free = append(p.free, conn)
+	p.mu.Unlock()
+}
+
+// close closes every idle connection; in-flight connections are closed on
+// put.
+func (p *connPool) close() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, conn := range free {
+		_ = conn.Close()
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+	"namecoherence/internal/nameserver"
+	"namecoherence/internal/treespec"
+)
+
+// Cluster is a sharded deployment of one logical naming graph: every
+// top-level prefix of the spec is served by exactly one shard, and all
+// shards live in one World so coherence across them is a meaningful,
+// checkable property.
+type Cluster struct {
+	// World holds every shard's entities.
+	World *core.World
+	// Trees are the per-shard subtrees, indexed by shard.
+	Trees []*dirtree.Tree
+	// Plan records how the spec was split and routed.
+	Plan *treespec.ShardPlan
+
+	routes *nameserver.RouteInfo
+
+	mu        sync.Mutex
+	servers   []*nameserver.Server
+	listeners []net.Listener
+	done      []chan struct{}
+	closed    bool
+}
+
+// New splits spec across the given number of shards and serves each shard
+// on its own TCP loopback listener. Every server watches its subtree (so
+// binding changes bump that shard's revision) and carries the cluster's
+// routing table for client bootstrap.
+func New(w *core.World, spec string, shards int) (*Cluster, error) {
+	plan, err := treespec.Split(spec, shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{World: w, Plan: plan}
+	for i, shardSpec := range plan.Specs {
+		tr, err := treespec.Build(shardSpec, w, fmt.Sprintf("shard%d", i))
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("build shard %d: %w", i, err)
+		}
+		c.Trees = append(c.Trees, tr)
+	}
+	addrs := make([]string, shards)
+	for i, tr := range c.Trees {
+		srv := nameserver.NewServer(w, tr.RootContext())
+		srv.WatchExport(tr.Root)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("listen for shard %d: %w", i, err)
+		}
+		addrs[i] = ln.Addr().String()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.Serve(ln)
+		}()
+		c.mu.Lock()
+		c.servers = append(c.servers, srv)
+		c.listeners = append(c.listeners, ln)
+		c.done = append(c.done, done)
+		c.mu.Unlock()
+	}
+	c.routes = &nameserver.RouteInfo{
+		Prefixes: plan.Prefixes,
+		Default:  plan.Default,
+		Addrs:    addrs,
+	}
+	for _, srv := range c.servers {
+		srv.SetRoutes(c.routes)
+	}
+	return c, nil
+}
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return len(c.Trees) }
+
+// Routes returns the cluster's routing table (prefix → shard, shard →
+// address).
+func (c *Cluster) Routes() *nameserver.RouteInfo { return c.routes.Clone() }
+
+// Addrs returns the shards' dial addresses.
+func (c *Cluster) Addrs() []string {
+	return append([]string(nil), c.routes.Addrs...)
+}
+
+// Server returns shard i's name server (for revision bumps and stats).
+func (c *Cluster) Server(i int) *nameserver.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[i]
+}
+
+// Served sums the wire requests handled across all shards.
+func (c *Cluster) Served() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, s := range c.servers {
+		total += s.Served()
+	}
+	return total
+}
+
+// Resolved sums the names resolved across all shards (batch elements
+// count individually).
+func (c *Cluster) Resolved() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, s := range c.servers {
+		total += s.Resolved()
+	}
+	return total
+}
+
+// Close stops every shard server.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	servers := c.servers
+	done := c.done
+	c.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	for _, d := range done {
+		<-d
+	}
+}

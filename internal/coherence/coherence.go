@@ -49,15 +49,26 @@ type ResolveFunc func(a core.Entity, p core.Path) (core.Entity, error)
 // activities under the scheme embodied by resolve.
 func CheckName(w *core.World, resolve ResolveFunc, activities []core.Entity, p core.Path) Outcome {
 	results := make([]core.Entity, len(activities))
-	allUndefined := true
 	for i, a := range activities {
 		e, _ := resolve(a, p)
 		results[i] = e
+	}
+	return Classify(w, results)
+}
+
+// Classify reduces the entities one name resolved to — one per observer —
+// to an outcome. It is the core of CheckName, exposed so that observers
+// other than model activities (for example the clients of a sharded name
+// service) can be probed with the same rules.
+func Classify(w *core.World, results []core.Entity) Outcome {
+	allUndefined := true
+	for _, e := range results {
 		if !e.IsUndefined() {
 			allUndefined = false
+			break
 		}
 	}
-	if len(activities) == 0 || allUndefined {
+	if len(results) == 0 || allUndefined {
 		return Vacuous
 	}
 
@@ -69,9 +80,6 @@ func CheckName(w *core.World, resolve ResolveFunc, activities []core.Entity, p c
 		}
 	}
 	if allEqual {
-		if results[0].IsUndefined() {
-			return Vacuous
-		}
 		return Coherent
 	}
 
@@ -143,6 +151,34 @@ func Measure(w *core.World, resolve ResolveFunc, activities []core.Entity, paths
 	r := &Report{ByName: make(map[string]Outcome, len(paths))}
 	for _, p := range paths {
 		r.Add(p, CheckName(w, resolve, activities, p))
+	}
+	return r
+}
+
+// Resolver is a client-side view of a naming service: anything that can
+// resolve a compound name to an entity. Cluster clients, name-server
+// clients and replica pools all satisfy it.
+type Resolver interface {
+	Resolve(p core.Path) (core.Entity, error)
+}
+
+// MeasureResolvers probes every path across a set of resolvers — typically
+// the concurrent clients of a distributed name service, each with its own
+// cache state — and aggregates outcomes exactly like Measure. A resolution
+// error counts as ⊥E for that resolver, so resolving vs. not resolving is
+// disagreement, as in CheckName.
+func MeasureResolvers(w *core.World, resolvers []Resolver, paths []core.Path) *Report {
+	r := &Report{ByName: make(map[string]Outcome, len(paths))}
+	results := make([]core.Entity, len(resolvers))
+	for _, p := range paths {
+		for i, res := range resolvers {
+			e, err := res.Resolve(p)
+			if err != nil {
+				e = core.Undefined
+			}
+			results[i] = e
+		}
+		r.Add(p, Classify(w, results))
 	}
 	return r
 }

@@ -303,8 +303,8 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 17 {
-		t.Fatalf("tables = %d, want 17", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("tables = %d, want 18", len(tables))
 	}
 	seen := make(map[string]bool)
 	for _, tb := range tables {
@@ -479,6 +479,49 @@ func TestE13ForkDivergence(t *testing.T) {
 		}
 		if row[2] != "1.00" {
 			t.Errorf("mutations=%d: shared coherence = %s, want 1.00", mutations, row[2])
+		}
+	}
+}
+
+func TestE14ShardedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full shard x batch sweep over TCP")
+	}
+	tb, err := E14(DefaultE14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultE14()
+	if want := len(cfg.ShardCounts) * len(cfg.BatchSizes); len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), want)
+	}
+	// Strict coherence must hold for every client of every shard at every
+	// shard count and batch size: the shards are one shared graph.
+	wire := map[[2]int]int{} // (shards, batch) -> wire requests
+	for _, row := range tb.Rows {
+		var shards, batch, lookups, reqs int
+		for i, dst := range []*int{&shards, &batch, &lookups, &reqs} {
+			if _, err := fmtSscan(row[i], dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if lookups != cfg.Clients*cfg.Lookups {
+			t.Errorf("shards=%d batch=%d: lookups = %d, want %d",
+				shards, batch, lookups, cfg.Clients*cfg.Lookups)
+		}
+		if got := row[len(row)-1]; got != "1.00" {
+			t.Errorf("shards=%d batch=%d: strict coherence = %s, want 1.00",
+				shards, batch, got)
+		}
+		wire[[2]int{shards, batch}] = reqs
+	}
+	// Batching amortizes the wire: at every shard count, batch 64 must
+	// need at most half the wire requests of unbatched resolution.
+	for _, shards := range cfg.ShardCounts {
+		one, big := wire[[2]int{shards, 1}], wire[[2]int{shards, 64}]
+		if big*2 > one {
+			t.Errorf("shards=%d: batch-64 wire requests %d not < half of unbatched %d",
+				shards, big, one)
 		}
 	}
 }

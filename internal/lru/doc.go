@@ -1,0 +1,4 @@
+// Package lru provides a small least-recently-used cache shared by the
+// name-server client and the cluster client, so cache-eviction behaviour
+// (and therefore every cache benchmark) is deterministic across runs.
+package lru

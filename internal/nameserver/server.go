@@ -9,12 +9,29 @@ import (
 	"sync"
 
 	"namecoherence/internal/core"
+	"namecoherence/internal/lru"
 )
 
-// request is a resolve request on the wire.
+// request is one message from client to server. Exactly one of the three
+// request forms is used per message: a single resolve (Path), a batched
+// resolve (Paths — one round-trip resolves every element), or a routing
+// fetch (Routes — cluster clients bootstrap the shard map from any member).
 type request struct {
 	// Path is the compound name, one component per element.
 	Path []string
+	// Paths, when non-nil, is a batch of compound names.
+	Paths [][]string
+	// Routes requests the server's routing table.
+	Routes bool
+}
+
+// result is one resolution outcome inside a batched response.
+type result struct {
+	// ID and Kind identify the resolved entity (0 on failure).
+	ID   uint64
+	Kind uint8
+	// Err carries the failure message, empty on success.
+	Err string
 }
 
 // response is the server's answer.
@@ -23,10 +40,53 @@ type response struct {
 	ID   uint64
 	Kind uint8
 	// Rev is the server's binding revision at answer time; coherent client
-	// caches purge stale entries when it advances.
+	// caches purge stale entries when it advances. For a batch it covers
+	// every element.
 	Rev uint64
 	// Err carries the failure message, empty on success.
 	Err string
+	// Results answers a batched request, in request order.
+	Results []result
+	// Routes answers a routing fetch.
+	Routes *RouteInfo
+}
+
+// RouteInfo describes a sharded deployment of one logical naming graph:
+// which shard serves each first-component prefix, and where every shard
+// listens. Servers of a cluster all carry the same RouteInfo, so a client
+// can bootstrap from any one member.
+type RouteInfo struct {
+	// Prefixes maps a name's first component to the index of the shard
+	// serving that subtree.
+	Prefixes map[string]int
+	// Default is the shard for names whose first component has no entry
+	// (including the root shard of the cluster).
+	Default int
+	// Addrs lists the shards' dial addresses, indexed by shard.
+	Addrs []string
+}
+
+// Clone returns an independent copy.
+func (r *RouteInfo) Clone() *RouteInfo {
+	c := &RouteInfo{
+		Prefixes: make(map[string]int, len(r.Prefixes)),
+		Default:  r.Default,
+		Addrs:    append([]string(nil), r.Addrs...),
+	}
+	for p, s := range r.Prefixes {
+		c.Prefixes[p] = s
+	}
+	return c
+}
+
+// ShardFor returns the shard index serving the given path.
+func (r *RouteInfo) ShardFor(p core.Path) int {
+	if len(p) > 0 {
+		if s, ok := r.Prefixes[string(p[0])]; ok {
+			return s
+		}
+	}
+	return r.Default
 }
 
 // Server resolves names in an exported context on behalf of remote clients.
@@ -39,7 +99,9 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	served   int
+	resolved int
 	rev      uint64
+	routes   *RouteInfo
 	wg       sync.WaitGroup
 }
 
@@ -97,8 +159,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return // EOF or broken peer
 		}
 		resp := s.handle(req)
+		names := len(req.Paths)
+		if req.Paths == nil && !req.Routes {
+			names = 1
+		}
 		s.mu.Lock()
 		s.served++
+		s.resolved += names
 		s.mu.Unlock()
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -106,19 +173,66 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 }
 
+// handle serves one wire request.
 func (s *Server) handle(req request) response {
-	p := make(core.Path, len(req.Path))
-	for i, c := range req.Path {
+	switch {
+	case req.Routes:
+		s.mu.Lock()
+		routes := s.routes
+		s.mu.Unlock()
+		if routes == nil {
+			return response{Err: "no routing table: server is not a cluster member"}
+		}
+		return response{Routes: routes.Clone()}
+	case req.Paths != nil:
+		results := make([]result, len(req.Paths))
+		rev := s.withStableRevision(func() {
+			for i, raw := range req.Paths {
+				results[i] = s.resolveOne(raw)
+			}
+		})
+		return response{Rev: rev, Results: results}
+	default:
+		var res result
+		rev := s.withStableRevision(func() {
+			res = s.resolveOne(req.Path)
+		})
+		return response{ID: res.ID, Kind: res.Kind, Rev: rev, Err: res.Err}
+	}
+}
+
+// withStableRevision runs resolve and returns a revision consistent with
+// the bindings it read. The revision is sampled after resolution — sampling
+// before would let a concurrent Bump pair a fresh binding with a stale
+// revision, deferring the coherent-cache purge by one round-trip and
+// breaking WithCoherentCache's staleness bound. If the revision moved while
+// resolving, the resolution raced a binding change and is retried against
+// the newer revision; if it never settles, the pre-resolution revision is
+// returned, which at worst forces the client to purge again next trip
+// (conservative, never stale).
+func (s *Server) withStableRevision(resolve func()) uint64 {
+	rev := s.Revision()
+	for attempt := 0; ; attempt++ {
+		resolve()
+		after := s.Revision()
+		if after == rev || attempt == 3 {
+			return rev
+		}
+		rev = after
+	}
+}
+
+// resolveOne resolves one wire path in the exported context.
+func (s *Server) resolveOne(raw []string) result {
+	p := make(core.Path, len(raw))
+	for i, c := range raw {
 		p[i] = core.Name(c)
 	}
-	s.mu.Lock()
-	rev := s.rev
-	s.mu.Unlock()
 	e, err := s.world.Resolve(s.export, p)
 	if err != nil {
-		return response{Rev: rev, Err: err.Error()}
+		return result{Err: err.Error()}
 	}
-	return response{ID: uint64(e.ID), Kind: uint8(e.Kind), Rev: rev}
+	return result{ID: uint64(e.ID), Kind: uint8(e.Kind)}
 }
 
 // Bump advances the server's binding revision. Coherent client caches
@@ -138,6 +252,15 @@ func (s *Server) Revision() uint64 {
 	return s.rev
 }
 
+// SetRoutes installs the routing table this server hands to clients that
+// ask (cluster members all carry the same table, so any member can
+// bootstrap a cluster client).
+func (s *Server) SetRoutes(routes *RouteInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routes = routes.Clone()
+}
+
 // WatchExport wraps every directory reachable from root so that any
 // binding change bumps the server revision, and returns how many
 // directories are now watched. Directories created later are not covered
@@ -148,11 +271,20 @@ func (s *Server) WatchExport(root core.Entity) int {
 	})
 }
 
-// Served returns the number of requests handled so far.
+// Served returns the number of wire requests handled so far (a batch
+// counts once — that is the point of batching).
 func (s *Server) Served() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.served
+}
+
+// Resolved returns the number of names resolved so far (every element of a
+// batch counts).
+func (s *Server) Resolved() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resolved
 }
 
 // Close stops the listener, closes active connections, and waits for
@@ -192,8 +324,7 @@ type Client struct {
 	conn     net.Conn
 	enc      *gob.Encoder
 	dec      *gob.Decoder
-	cache    map[string]core.Entity
-	limit    int
+	cache    *lru.Cache[string, core.Entity]
 	coherent bool
 	rev      uint64
 	hits     int
@@ -209,13 +340,12 @@ type ClientOption interface {
 type cacheOption int
 
 func (o cacheOption) apply(c *Client) {
-	c.limit = int(o)
-	c.cache = make(map[string]core.Entity)
+	c.cache = lru.New[string, core.Entity](int(o))
 }
 
-// WithCache enables a client-side resolution cache of at most n entries.
-// The cache is never invalidated; it models the (coherence-agnostic) name
-// caches common in directory services.
+// WithCache enables a client-side LRU resolution cache of at most n
+// entries. The cache is never invalidated; it models the
+// (coherence-agnostic) name caches common in directory services.
 func WithCache(n int) ClientOption {
 	return cacheOption(n)
 }
@@ -223,16 +353,15 @@ func WithCache(n int) ClientOption {
 type coherentCacheOption int
 
 func (o coherentCacheOption) apply(c *Client) {
-	c.limit = int(o)
-	c.cache = make(map[string]core.Entity)
+	c.cache = lru.New[string, core.Entity](int(o))
 	c.coherent = true
 }
 
-// WithCoherentCache enables a revision-tracked cache of at most n entries:
-// every response carries the server's binding revision, and when it
-// advances the whole cache is purged before the new entry is stored. Cache
-// staleness is thus bounded by one round-trip after a server-side change
-// (pair with Server.WatchExport for automatic bumping).
+// WithCoherentCache enables a revision-tracked LRU cache of at most n
+// entries: every response carries the server's binding revision, and when
+// it advances the whole cache is purged before the new entry is stored.
+// Cache staleness is thus bounded by one round-trip after a server-side
+// change (pair with Server.WatchExport for automatic bumping).
 func WithCoherentCache(n int) ClientOption {
 	return coherentCacheOption(n)
 }
@@ -255,13 +384,43 @@ func Dial(network, addr string, opts ...ClientOption) (*Client, error) {
 	return NewClient(conn, opts...), nil
 }
 
+// roundTrip sends one request and decodes the response. Callers hold c.mu.
+func (c *Client) roundTrip(req request, what string) (response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("send %s: %w", what, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return response{}, fmt.Errorf("%s: server closed: %w", what, err)
+		}
+		return response{}, fmt.Errorf("recv %s: %w", what, err)
+	}
+	return resp, nil
+}
+
+// noteRevision applies the coherent-cache purge rule for a response
+// revision. Callers hold c.mu.
+func (c *Client) noteRevision(rev uint64) {
+	if !c.coherent || rev == c.rev {
+		return
+	}
+	// The exported graph changed since our entries were fetched:
+	// purge before trusting anything new.
+	if c.cache.Len() > 0 {
+		c.cache.Clear()
+		c.purges++
+	}
+	c.rev = rev
+}
+
 // Resolve resolves the compound name at the server (or the cache).
 func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 	key := p.String()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cache != nil {
-		if e, ok := c.cache[key]; ok {
+		if e, ok := c.cache.Get(key); ok {
 			c.hits++
 			return e, nil
 		}
@@ -271,40 +430,165 @@ func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 	for i, n := range p {
 		req.Path[i] = string(n)
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return core.Undefined, fmt.Errorf("send resolve %q: %w", p, err)
+	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
+	if err != nil {
+		return core.Undefined, err
 	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return core.Undefined, fmt.Errorf("resolve %q: server closed: %w", p, err)
-		}
-		return core.Undefined, fmt.Errorf("recv resolve %q: %w", p, err)
-	}
-	if c.coherent && resp.Rev != c.rev {
-		// The exported graph changed since our entries were fetched:
-		// purge before trusting anything new.
-		if len(c.cache) > 0 {
-			c.cache = make(map[string]core.Entity)
-			c.purges++
-		}
-		c.rev = resp.Rev
-	}
+	c.noteRevision(resp.Rev)
 	if resp.Err != "" {
 		return core.Undefined, &RemoteError{Msg: resp.Err}
 	}
 	e := core.Entity{ID: core.EntityID(resp.ID), Kind: core.Kind(resp.Kind)}
 	if c.cache != nil {
-		if len(c.cache) >= c.limit {
-			// Evict an arbitrary entry; fine for a measurement cache.
-			for k := range c.cache {
-				delete(c.cache, k)
-				break
-			}
-		}
-		c.cache[key] = e
+		c.cache.Put(key, e)
 	}
 	return e, nil
+}
+
+// ResolveRev resolves p at the server, bypassing the client's own cache,
+// and returns the binding revision the response carried. Cluster clients
+// use it to drive a revision-tracked cache that spans many connections.
+func (c *Client) ResolveRev(p core.Path) (core.Entity, uint64, error) {
+	req := request{Path: make([]string, len(p))}
+	for i, n := range p {
+		req.Path[i] = string(n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
+	if err != nil {
+		return core.Undefined, 0, err
+	}
+	if resp.Err != "" {
+		return core.Undefined, resp.Rev, &RemoteError{Msg: resp.Err}
+	}
+	return core.Entity{ID: core.EntityID(resp.ID), Kind: core.Kind(resp.Kind)}, resp.Rev, nil
+}
+
+// ResolveBatchRev resolves every path in one round-trip, bypassing the
+// client's own cache, and returns the batch's binding revision. Results
+// are in argument order; per-name failures are in the results.
+func (c *Client) ResolveBatchRev(paths []core.Path) ([]BatchResult, uint64, error) {
+	req := request{Paths: make([][]string, len(paths))}
+	for k, p := range paths {
+		raw := make([]string, len(p))
+		for i, n := range p {
+			raw[i] = string(n)
+		}
+		req.Paths[k] = raw
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(req, fmt.Sprintf("resolve batch of %d", len(paths)))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resp.Results) != len(paths) {
+		return nil, 0, fmt.Errorf("resolve batch: got %d results for %d paths", len(resp.Results), len(paths))
+	}
+	out := make([]BatchResult, len(paths))
+	for k, res := range resp.Results {
+		if res.Err != "" {
+			out[k] = BatchResult{Entity: core.Undefined, Err: &RemoteError{Msg: res.Err}}
+			continue
+		}
+		out[k] = BatchResult{Entity: core.Entity{ID: core.EntityID(res.ID), Kind: core.Kind(res.Kind)}}
+	}
+	return out, resp.Rev, nil
+}
+
+// BatchResult is one outcome of a batched resolution.
+type BatchResult struct {
+	// Entity is the resolved entity (Undefined on failure).
+	Entity core.Entity
+	// Err is the per-name failure (*RemoteError), nil on success.
+	Err error
+}
+
+// ResolveBatch resolves every path in one round-trip (cache hits are
+// answered locally; duplicates cross the wire once). Results are in
+// argument order. The returned error reports a transport failure; per-name
+// resolution failures are in the results.
+func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
+	out := make([]BatchResult, len(paths))
+	if len(paths) == 0 {
+		return out, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Answer what we can from the cache; collect the rest, deduplicated.
+	need := make(map[string][]int)
+	var order []string
+	for i, p := range paths {
+		key := p.String()
+		if c.cache != nil {
+			if e, ok := c.cache.Get(key); ok {
+				c.hits++
+				out[i] = BatchResult{Entity: e}
+				continue
+			}
+		}
+		c.misses++
+		if _, seen := need[key]; !seen {
+			order = append(order, key)
+		}
+		need[key] = append(need[key], i)
+	}
+	if len(order) == 0 {
+		return out, nil
+	}
+
+	req := request{Paths: make([][]string, len(order))}
+	for k, key := range order {
+		p := paths[need[key][0]]
+		raw := make([]string, len(p))
+		for i, n := range p {
+			raw[i] = string(n)
+		}
+		req.Paths[k] = raw
+	}
+	resp, err := c.roundTrip(req, fmt.Sprintf("resolve batch of %d", len(order)))
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(order) {
+		return nil, fmt.Errorf("resolve batch: got %d results for %d paths", len(resp.Results), len(order))
+	}
+	c.noteRevision(resp.Rev)
+	for k, res := range resp.Results {
+		var br BatchResult
+		if res.Err != "" {
+			br = BatchResult{Entity: core.Undefined, Err: &RemoteError{Msg: res.Err}}
+		} else {
+			br = BatchResult{Entity: core.Entity{ID: core.EntityID(res.ID), Kind: core.Kind(res.Kind)}}
+			if c.cache != nil {
+				c.cache.Put(order[k], br.Entity)
+			}
+		}
+		for _, i := range need[order[k]] {
+			out[i] = br
+		}
+	}
+	return out, nil
+}
+
+// Routes fetches the routing table of a sharded deployment from the
+// server. Servers outside a cluster answer with a RemoteError.
+func (c *Client) Routes() (*RouteInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(request{Routes: true}, "routes")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	if resp.Routes == nil {
+		return nil, &RemoteError{Msg: "empty routing table"}
+	}
+	return resp.Routes, nil
 }
 
 // Stats returns cache hits and misses so far.

@@ -1,0 +1,166 @@
+package treespec
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// ShardPlan is the result of splitting one treespec across n shards by
+// first-component prefix (the DCE-cell style partition of §5.2: each shard
+// administers whole top-level subtrees of the shared graph).
+type ShardPlan struct {
+	// Specs[i] is the treespec of the subtrees shard i serves.
+	Specs []string
+	// Prefixes maps a name's first component to its shard.
+	Prefixes map[string]int
+	// Default is the shard for names whose first component has no entry.
+	Default int
+}
+
+// Split partitions spec across n shards. Every top-level prefix is assigned
+// to exactly one shard; link lines force their two prefixes onto the same
+// shard (a cross-directory link must live where its target lives), and the
+// remaining prefix groups are dealt round-robin in order of first
+// appearance, so the split is deterministic. The default shard is 0.
+func Split(spec string, n int) (*ShardPlan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard count %d: %w", n, ErrSyntax)
+	}
+
+	type specLine struct {
+		text     string
+		prefixes []string
+	}
+	var lines []specLine
+	var order []string           // prefixes in first-appearance order
+	group := map[string]string{} // union-find parent, keyed by prefix
+
+	var find func(p string) string
+	find = func(p string) string {
+		if group[p] != p {
+			group[p] = find(group[p])
+		}
+		return group[p]
+	}
+	note := func(p string) {
+		if _, ok := group[p]; !ok {
+			group[p] = p
+			order = append(order, p)
+		}
+	}
+
+	scanner := bufio.NewScanner(strings.NewReader(spec))
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		prefixes, err := linePrefixes(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		for _, p := range prefixes {
+			note(p)
+		}
+		// A line naming several prefixes (link) welds them together.
+		for _, p := range prefixes[1:] {
+			group[find(p)] = find(prefixes[0])
+		}
+		lines = append(lines, specLine{text: line, prefixes: prefixes})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("read spec: %w", err)
+	}
+
+	// Deal prefix groups to shards round-robin, in first-appearance order
+	// of each group's representative.
+	shardOf := make(map[string]int)
+	next := 0
+	for _, p := range order {
+		root := find(p)
+		if _, done := shardOf[root]; !done {
+			shardOf[root] = next % n
+			next++
+		}
+	}
+
+	plan := &ShardPlan{
+		Specs:    make([]string, n),
+		Prefixes: make(map[string]int, len(order)),
+		Default:  0,
+	}
+	for _, p := range order {
+		plan.Prefixes[p] = shardOf[find(p)]
+	}
+	builders := make([]strings.Builder, n)
+	for _, l := range lines {
+		shard := plan.Default
+		if len(l.prefixes) > 0 {
+			shard = plan.Prefixes[l.prefixes[0]]
+		}
+		builders[shard].WriteString(l.text)
+		builders[shard].WriteByte('\n')
+	}
+	for i := range builders {
+		plan.Specs[i] = builders[i].String()
+	}
+	return plan, nil
+}
+
+// linePrefixes returns the first components of the paths a spec line binds
+// (not the names embedded as content: those are data, resolved through a
+// client that routes across the whole cluster).
+func linePrefixes(line string) ([]string, error) {
+	directive, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch directive {
+	case "dir":
+		p, err := firstComponent(rest)
+		if err != nil {
+			return nil, err
+		}
+		return []string{p}, nil
+	case "file", "embed":
+		pathStr, _, err := splitPathAndQuoted(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", directive, err)
+		}
+		p, err := firstComponent(pathStr)
+		if err != nil {
+			return nil, err
+		}
+		return []string{p}, nil
+	case "link":
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("link needs two paths: %w", ErrSyntax)
+		}
+		a, err := firstComponent(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := firstComponent(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		if a == b {
+			return []string{a}, nil
+		}
+		return []string{a, b}, nil
+	default:
+		return nil, fmt.Errorf("directive %q: %w", directive, ErrSyntax)
+	}
+}
+
+// firstComponent returns the first component of a textual path.
+func firstComponent(s string) (string, error) {
+	for _, part := range strings.Split(s, "/") {
+		if part != "" {
+			return part, nil
+		}
+	}
+	return "", fmt.Errorf("path %q has no components: %w", s, ErrSyntax)
+}

@@ -2,6 +2,7 @@ package naming
 
 import (
 	"namecoherence/internal/check"
+	"namecoherence/internal/cluster"
 	"namecoherence/internal/dirtree"
 	"namecoherence/internal/embedded"
 	"namecoherence/internal/exchange"
@@ -237,6 +238,33 @@ type (
 
 // NewCluster builds a wire-backed Newcastle system.
 var NewCluster = remote.NewCluster
+
+// Sharded naming cluster: one logical graph partitioned across name
+// servers by prefix (§5.2, Fig. 4 at deployment scale).
+type (
+	// ShardedCluster serves one naming graph from prefix-delegated shards.
+	ShardedCluster = cluster.Cluster
+	// ShardedClient routes, batches, coalesces, and caches across shards.
+	ShardedClient = cluster.Client
+	// RouteInfo maps name prefixes to shards and shards to addresses.
+	RouteInfo = nameserver.RouteInfo
+)
+
+// Sharded-cluster functions.
+var (
+	// NewShardedCluster splits a treespec across n shards and serves them.
+	NewShardedCluster = cluster.New
+	// DialShardedCluster bootstraps a client from any one cluster member.
+	DialShardedCluster = cluster.Dial
+	// NewShardedClient builds a client over a known routing table.
+	NewShardedClient = cluster.NewClient
+	// WithShardLRU enables the revision-tracked per-shard LRU cache.
+	WithShardLRU = cluster.WithLRU
+	// WithShardPoolSize caps idle pooled connections per shard.
+	WithShardPoolSize = cluster.WithPoolSize
+	// SplitTreeSpec partitions a treespec into per-shard subtrees.
+	SplitTreeSpec = treespec.Split
+)
 
 // Replicated name service (weak coherence at the service level).
 type (
