@@ -3,12 +3,15 @@
 // requests over TCP until interrupted. With -shard N it partitions the
 // tree across N name servers by prefix and serves all of them, printing
 // the routing table; any member can bootstrap an nsq -cluster client.
+// With -replicas R every shard is served by R replica servers holding
+// replicas of the same subtree, so clients can fail over when one dies.
 //
 // Usage:
 //
 //	nsd                          # demo tree on 127.0.0.1:7474
 //	nsd -addr :9000 -spec t.spec # serve a spec file
 //	nsd -shard 4                 # serve the demo tree from 4 shards
+//	nsd -shard 4 -replicas 2     # ...with 2 replica servers per shard
 //	nsd -dump                    # print the served tree's spec and exit
 package main
 
@@ -19,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 
 	"namecoherence/internal/cluster"
 	"namecoherence/internal/core"
@@ -52,11 +56,15 @@ func run(args []string) error {
 	dump := fs.Bool("dump", false, "print the served tree's spec and exit")
 	watch := fs.Bool("watch", true, "bump the revision on binding changes (coherent caches)")
 	shards := fs.Int("shard", 1, "partition the tree across this many prefix shards")
+	replicas := fs.Int("replicas", 1, "serve each shard from this many replica servers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shard %d: need at least 1", *shards)
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas %d: need at least 1", *replicas)
 	}
 
 	spec := demoSpec
@@ -76,8 +84,8 @@ func run(args []string) error {
 		}
 		return treespec.Dump(tr, os.Stdout)
 	}
-	if *shards > 1 {
-		return runSharded(w, spec, *shards)
+	if *shards > 1 || *replicas > 1 {
+		return runSharded(w, spec, *shards, *replicas)
 	}
 
 	var tr *dirtree.Tree
@@ -109,17 +117,18 @@ func run(args []string) error {
 	return nil
 }
 
-// runSharded serves the spec from a prefix-partitioned cluster and prints
-// the routing table clients bootstrap from.
-func runSharded(w *core.World, spec string, shards int) error {
-	cl, err := cluster.New(w, spec, shards)
+// runSharded serves the spec from a prefix-partitioned, optionally
+// replicated cluster and prints the routing table clients bootstrap from.
+func runSharded(w *core.World, spec string, shards, replicas int) error {
+	cl, err := cluster.NewReplicated(w, spec, shards, replicas)
 	if err != nil {
 		return err
 	}
 	routes := cl.Routes()
-	fmt.Printf("nsd serving %d shards (interrupt to stop)\n", cl.Shards())
-	for i, a := range routes.Addrs {
-		fmt.Printf("  shard %d: %s\n", i, a)
+	fmt.Printf("nsd serving %d shards x %d replicas (interrupt to stop)\n",
+		cl.Shards(), cl.ReplicasPerShard())
+	for i := range routes.Addrs {
+		fmt.Printf("  shard %d: %s\n", i, strings.Join(routes.ReplicaAddrs(i), " "))
 	}
 	prefixes := make([]string, 0, len(routes.Prefixes))
 	for p := range routes.Prefixes {

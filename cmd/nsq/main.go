@@ -2,19 +2,23 @@
 // argument and prints the resulting entity (or error). With -cluster it
 // bootstraps the routing table from the given address (any member of an
 // nsd -shard cluster) and routes each name to its shard; -batch resolves
-// all arguments with one round-trip per shard.
+// all arguments with one round-trip per shard. Cluster requests run under
+// a deadline (-timeout) with bounded retry (-retries) and automatic
+// failover across an nsd -replicas deployment's replica servers.
 //
 // Usage:
 //
 //	nsq /usr/bin/ls /etc/passwd
 //	nsq -addr 127.0.0.1:9000 -cache 16 -n 3 /usr/bin/ls
 //	nsq -cluster -addr 127.0.0.1:40001 -batch /usr/bin/ls /etc/passwd
+//	nsq -cluster -addr 127.0.0.1:40001 -timeout 500ms -retries 3 /etc/passwd
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"namecoherence/internal/cluster"
 	"namecoherence/internal/core"
@@ -36,6 +40,8 @@ func run(args []string) error {
 	repeat := fs.Int("n", 1, "resolve each path this many times")
 	clustered := fs.Bool("cluster", false, "treat -addr as a sharded-cluster member and route by prefix")
 	batch := fs.Bool("batch", false, "with -cluster: resolve all paths in one round-trip per shard")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+	retries := fs.Int("retries", 2, "with -cluster: extra attempts after a transport failure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,8 +51,11 @@ func run(args []string) error {
 	if *batch && !*clustered {
 		return fmt.Errorf("-batch requires -cluster")
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries %d: must be >= 0", *retries)
+	}
 	if *clustered {
-		return runCluster(*addr, *cacheSize, *batch, *repeat, fs.Args())
+		return runCluster(*addr, *cacheSize, *batch, *repeat, *timeout, *retries, fs.Args())
 	}
 
 	var opts []nameserver.ClientOption
@@ -55,6 +64,9 @@ func run(args []string) error {
 		opts = append(opts, nameserver.WithCoherentCache(*cacheSize))
 	case *cacheSize > 0:
 		opts = append(opts, nameserver.WithCache(*cacheSize))
+	}
+	if *timeout > 0 {
+		opts = append(opts, nameserver.WithTimeout(*timeout))
 	}
 	client, err := nameserver.Dial("tcp", *addr, opts...)
 	if err != nil {
@@ -82,9 +94,14 @@ func run(args []string) error {
 
 // runCluster resolves the paths through a sharded-cluster client
 // bootstrapped from one member address. The cluster cache is always the
-// revision-tracked per-shard LRU.
-func runCluster(addr string, cacheSize int, batch bool, repeat int, args []string) error {
-	var opts []cluster.ClientOption
+// revision-tracked per-shard LRU; requests run under the deadline and
+// retry/failover policy.
+func runCluster(addr string, cacheSize int, batch bool, repeat int,
+	timeout time.Duration, retries int, args []string) error {
+	opts := []cluster.ClientOption{
+		cluster.WithTimeout(timeout),
+		cluster.WithRetries(retries),
+	}
 	if cacheSize > 0 {
 		opts = append(opts, cluster.WithLRU(cacheSize))
 	}
@@ -95,7 +112,12 @@ func runCluster(addr string, cacheSize int, batch bool, repeat int, args []strin
 	defer client.Close()
 
 	routes := client.Routes()
-	fmt.Printf("cluster: %d shards via %s\n", len(routes.Addrs), addr)
+	if routes.Replicas != nil {
+		fmt.Printf("cluster: %d shards x %d replicas via %s\n",
+			len(routes.Addrs), len(routes.ReplicaAddrs(0)), addr)
+	} else {
+		fmt.Printf("cluster: %d shards via %s\n", len(routes.Addrs), addr)
+	}
 
 	paths := make([]core.Path, len(args))
 	for i, arg := range args {

@@ -3,7 +3,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
+	"time"
 
 	"namecoherence/internal/core"
 	"namecoherence/internal/lru"
@@ -13,11 +15,16 @@ import (
 // Client fronts a sharded cluster: it routes every name to the shard
 // serving its prefix, pools connections per shard, answers repeats from a
 // revision-tracked LRU cache, coalesces concurrent identical lookups, and
-// resolves batches with one round-trip per shard.
+// resolves batches with one round-trip per shard. Every round-trip runs
+// under a deadline; transport failures are retried with exponential
+// backoff across the shard's replicas, and replicas that keep failing are
+// circuit-broken so they stop absorbing dials.
 type Client struct {
 	network string
 	routes  *nameserver.RouteInfo
 	pools   []*connPool
+	retries int
+	backoff time.Duration
 
 	mu        sync.Mutex
 	cache     *lru.Cache[string, cacheEntry]
@@ -27,6 +34,7 @@ type Client struct {
 	misses    int
 	coalesced int
 	purges    int
+	failovers int
 }
 
 // cacheEntry tags each cached binding with its shard, so a revision
@@ -43,6 +51,23 @@ type flight struct {
 	e    core.Entity
 	err  error
 }
+
+// ErrClientClosed is returned by requests that race or follow Close.
+var ErrClientClosed = errors.New("cluster: client closed")
+
+// Failure-model defaults. A request makes 1+defaultRetries attempts, each
+// bounded by defaultTimeout (dial and round-trip alike); attempts after
+// the first wait defaultBackoffBase·2^(n-1) plus equal jitter. A replica
+// with defaultBreakerThreshold consecutive failures is skipped for
+// defaultBreakerCooldown.
+const (
+	defaultTimeout          = 5 * time.Second
+	defaultRetries          = 2
+	defaultBackoffBase      = 2 * time.Millisecond
+	maxBackoff              = 100 * time.Millisecond
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 250 * time.Millisecond
+)
 
 // ClientOption configures a Client.
 type ClientOption interface {
@@ -77,6 +102,60 @@ func WithPoolSize(n int) ClientOption {
 	return poolOption(n)
 }
 
+type timeoutOption time.Duration
+
+func (o timeoutOption) apply(c *Client) {
+	for _, p := range c.pools {
+		p.timeout = time.Duration(o)
+	}
+}
+
+// WithTimeout bounds every dial and round-trip (default 5s; 0 disables).
+// A hung replica then costs one timeout, not a wedged client.
+func WithTimeout(d time.Duration) ClientOption {
+	return timeoutOption(d)
+}
+
+type retriesOption int
+
+func (o retriesOption) apply(c *Client) { c.retries = int(o) }
+
+// WithRetries sets how many extra attempts follow a transport failure
+// (default 2). Retries prefer a different replica of the shard, so with
+// replication a single dead replica is survived within one request.
+func WithRetries(n int) ClientOption {
+	return retriesOption(n)
+}
+
+type backoffOption time.Duration
+
+func (o backoffOption) apply(c *Client) { c.backoff = time.Duration(o) }
+
+// WithBackoff sets the base delay before retry n to base·2^(n-1) plus
+// equal jitter, capped at 100ms (default base 2ms; 0 disables waiting).
+func WithBackoff(base time.Duration) ClientOption {
+	return backoffOption(base)
+}
+
+type breakerOption struct {
+	threshold int
+	cooldown  time.Duration
+}
+
+func (o breakerOption) apply(c *Client) {
+	for _, p := range c.pools {
+		p.breakerThreshold = o.threshold
+		p.breakerCooldown = o.cooldown
+	}
+}
+
+// WithBreaker configures the per-replica circuit breaker: after threshold
+// consecutive failures a replica is skipped for cooldown, then probed
+// again (default 3 failures, 250ms; threshold 0 disables breaking).
+func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return breakerOption{threshold: threshold, cooldown: cooldown}
+}
+
 // defaultPoolSize is the idle-connection cap per shard.
 const defaultPoolSize = 2
 
@@ -88,9 +167,19 @@ func NewClient(network string, routes *nameserver.RouteInfo, opts ...ClientOptio
 		pools:   make([]*connPool, len(routes.Addrs)),
 		revs:    make([]uint64, len(routes.Addrs)),
 		flights: make(map[string]*flight),
+		retries: defaultRetries,
+		backoff: defaultBackoffBase,
 	}
-	for i, addr := range routes.Addrs {
-		c.pools[i] = &connPool{network: network, addr: addr, max: defaultPoolSize}
+	for i := range routes.Addrs {
+		c.pools[i] = &connPool{
+			network:          network,
+			addrs:            c.routes.ReplicaAddrs(i),
+			max:              defaultPoolSize,
+			timeout:          defaultTimeout,
+			breakerThreshold: defaultBreakerThreshold,
+			breakerCooldown:  defaultBreakerCooldown,
+		}
+		c.pools[i].breakers = make([]breaker, len(c.pools[i].addrs))
 	}
 	for _, o := range opts {
 		o.apply(c)
@@ -100,18 +189,19 @@ func NewClient(network string, routes *nameserver.RouteInfo, opts ...ClientOptio
 
 // Dial bootstraps a cluster client from any one member: it fetches the
 // routing table from the seed server and connects per shard on demand.
+// The bootstrap round-trip is bounded by the default timeout. A close
+// error on the one-shot seed connection is ignored once the routing table
+// is in hand — the routes are valid regardless.
 func Dial(network, seedAddr string, opts ...ClientOption) (*Client, error) {
-	seed, err := nameserver.Dial(network, seedAddr)
+	seed, err := nameserver.DialTimeout(network, seedAddr, defaultTimeout,
+		nameserver.WithTimeout(defaultTimeout))
 	if err != nil {
 		return nil, fmt.Errorf("dial cluster seed: %w", err)
 	}
 	routes, err := seed.Routes()
-	closeErr := seed.Close()
+	_ = seed.Close()
 	if err != nil {
 		return nil, fmt.Errorf("bootstrap routes from %s: %w", seedAddr, err)
-	}
-	if closeErr != nil {
-		return nil, closeErr
 	}
 	return NewClient(network, routes, opts...), nil
 }
@@ -120,8 +210,10 @@ func Dial(network, seedAddr string, opts ...ClientOption) (*Client, error) {
 func (c *Client) Routes() *nameserver.RouteInfo { return c.routes.Clone() }
 
 // Resolve resolves one compound name: from the cache if possible, else by
-// one round-trip to the shard serving the name's prefix. Concurrent
-// resolutions of the same name share one round-trip.
+// one round-trip to the shard serving the name's prefix, failing over
+// across the shard's replicas on transport errors. Concurrent resolutions
+// of the same name share one round-trip (and its outcome, including a
+// failure — but a failed flight is never reused by later calls).
 func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 	key := p.String()
 	c.mu.Lock()
@@ -159,21 +251,93 @@ func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 	return e, err
 }
 
-// resolveAtShard runs one single-name round-trip against a pooled
-// connection of the shard.
+// resolveAtShard runs one single-name round-trip against the shard, with
+// bounded retry: each transport failure closes the poisoned connection,
+// records it against the replica's breaker, backs off, and prefers a
+// different replica on the next attempt.
 func (c *Client) resolveAtShard(shard int, p core.Path) (core.Entity, uint64, error) {
-	conn, err := c.pools[shard].get()
-	if err != nil {
-		return core.Undefined, 0, err
-	}
-	e, rev, err := conn.ResolveRev(p)
-	if err != nil && !isRemote(err) {
-		// Transport failure: the connection is poisoned, drop it.
+	pool := c.pools[shard]
+	var lastErr error
+	avoid := -1
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoffDelay(attempt))
+		}
+		conn, err := pool.get(avoid)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return core.Undefined, 0, err
+			}
+			lastErr = fmt.Errorf("shard %d: %w", shard, err)
+			continue
+		}
+		e, rev, err := conn.ResolveRev(p)
+		if err == nil || isRemote(err) {
+			pool.put(conn)
+			return e, rev, err
+		}
+		// Transport failure: the connection is poisoned, drop it and
+		// charge the replica's breaker.
 		_ = conn.Close()
-		return core.Undefined, 0, err
+		pool.fail(conn.replica)
+		c.noteFailover(attempt)
+		avoid = conn.replica
+		lastErr = fmt.Errorf("shard %d replica %d: %w", shard, conn.replica, err)
 	}
-	c.pools[shard].put(conn)
-	return e, rev, err
+	return core.Undefined, 0, lastErr
+}
+
+// batchAtShard is resolveAtShard for one wire batch.
+func (c *Client) batchAtShard(shard int, keys []core.Path) ([]BatchResult, uint64, error) {
+	pool := c.pools[shard]
+	var lastErr error
+	avoid := -1
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoffDelay(attempt))
+		}
+		conn, err := pool.get(avoid)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return nil, 0, err
+			}
+			lastErr = fmt.Errorf("shard %d: %w", shard, err)
+			continue
+		}
+		results, rev, err := conn.ResolveBatchRev(keys)
+		if err == nil {
+			pool.put(conn)
+			return results, rev, nil
+		}
+		_ = conn.Close()
+		pool.fail(conn.replica)
+		c.noteFailover(attempt)
+		avoid = conn.replica
+		lastErr = fmt.Errorf("shard %d replica %d: %w", shard, conn.replica, err)
+	}
+	return nil, 0, lastErr
+}
+
+// backoffDelay returns the wait before retry attempt (1-based): the base
+// doubled per retry, capped, plus uniform jitter of the same magnitude so
+// concurrent retries spread out.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	if c.backoff <= 0 {
+		return 0
+	}
+	d := c.backoff << (attempt - 1)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d + rand.N(d)
+}
+
+// noteFailover counts retried transport failures (attempt 0 counts too:
+// it is the failure that triggers failing over).
+func (c *Client) noteFailover(int) {
+	c.mu.Lock()
+	c.failovers++
+	c.mu.Unlock()
 }
 
 // noteRevision applies the per-shard purge rule. Callers hold c.mu. The
@@ -201,8 +365,11 @@ type BatchResult = nameserver.BatchResult
 
 // ResolveBatch resolves every path with at most one round-trip per shard:
 // cache hits are answered locally, the rest are grouped by shard,
-// deduplicated, and sent as wire batches in parallel. Results are in
-// argument order; the returned error reports a transport failure.
+// deduplicated, and sent as wire batches in parallel, each with the same
+// retry/failover policy as Resolve. Results are in argument order. A shard
+// that stays unreachable yields per-item errors for its names only —
+// healthy shards' results are always returned; the error is non-nil only
+// when nothing at all was resolvable.
 func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 	out := make([]BatchResult, len(paths))
 	if len(paths) == 0 {
@@ -215,6 +382,7 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 		index map[string][]int // key -> positions in paths
 	}
 	work := make(map[int]*shardWork)
+	answered := 0 // paths with a definitive outcome (cache, success, or remote error)
 	c.mu.Lock()
 	for i, p := range paths {
 		key := p.String()
@@ -222,6 +390,7 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 			if entry, ok := c.cache.Get(key); ok {
 				c.hits++
 				out[i] = BatchResult{Entity: entry.entity}
+				answered++
 				continue
 			}
 		}
@@ -252,32 +421,28 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 	answers := make(chan shardAnswer, len(work))
 	for shard, w := range work {
 		go func(shard int, w *shardWork) {
-			conn, err := c.pools[shard].get()
-			if err != nil {
-				answers <- shardAnswer{shard: shard, err: err}
-				return
-			}
-			results, rev, err := conn.ResolveBatchRev(w.keys)
-			if err != nil {
-				_ = conn.Close()
-				answers <- shardAnswer{shard: shard, err: err}
-				return
-			}
-			c.pools[shard].put(conn)
-			answers <- shardAnswer{shard: shard, results: results, rev: rev}
+			results, rev, err := c.batchAtShard(shard, w.keys)
+			answers <- shardAnswer{shard: shard, results: results, rev: rev, err: err}
 		}(shard, w)
 	}
 
 	var firstErr error
 	for range work {
 		a := <-answers
+		w := work[a.shard]
 		if a.err != nil {
+			// The shard stayed unreachable through every retry: its names
+			// fail individually; other shards' answers stand.
 			if firstErr == nil {
-				firstErr = fmt.Errorf("shard %d: %w", a.shard, a.err)
+				firstErr = a.err
+			}
+			for _, positions := range w.index {
+				for _, i := range positions {
+					out[i] = BatchResult{Entity: core.Undefined, Err: a.err}
+				}
 			}
 			continue
 		}
-		w := work[a.shard]
 		c.mu.Lock()
 		c.noteRevision(a.shard, a.rev, nil)
 		for k, res := range a.results {
@@ -287,12 +452,13 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 			}
 			for _, i := range w.index[key] {
 				out[i] = res
+				answered++
 			}
 		}
 		c.mu.Unlock()
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if firstErr != nil && answered == 0 {
+		return out, firstErr
 	}
 	return out, nil
 }
@@ -321,7 +487,16 @@ func (c *Client) Purges() int {
 	return c.purges
 }
 
-// Close closes every pooled connection.
+// Failovers returns how many transport failures triggered a retry or
+// replica failover.
+func (c *Client) Failovers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failovers
+}
+
+// Close closes every pooled connection and fails requests that race or
+// follow it with ErrClientClosed.
 func (c *Client) Close() {
 	for _, p := range c.pools {
 		p.close()
@@ -335,36 +510,114 @@ func isRemote(err error) bool {
 	return errors.As(err, &re)
 }
 
-// connPool keeps idle connections to one shard. Concurrent requests each
-// get their own connection, so lookups to one shard can overlap; at most
-// max idle connections are retained.
-type connPool struct {
-	network string
-	addr    string
-	max     int
-
-	mu     sync.Mutex
-	free   []*nameserver.Client
-	closed bool
+// breaker tracks one replica's consecutive transport failures. Once they
+// reach the pool's threshold the replica is skipped until the cooldown
+// passes; the next probe then either resets it or re-opens it.
+type breaker struct {
+	failures  int
+	openUntil time.Time
 }
 
-// get pops an idle connection or dials a new one.
-func (p *connPool) get() (*nameserver.Client, error) {
+// allows reports whether the replica may be dialed.
+func (b *breaker) allows(now time.Time, threshold int) bool {
+	return threshold <= 0 || b.failures < threshold || !now.Before(b.openUntil)
+}
+
+// connPool keeps idle connections to one shard's replicas. Concurrent
+// requests each get their own connection, so lookups to one shard can
+// overlap; at most max idle connections are retained.
+type connPool struct {
+	network          string
+	addrs            []string // replica addresses, primary first
+	max              int
+	timeout          time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	mu       sync.Mutex
+	free     []*pooledConn
+	closed   bool
+	breakers []breaker
+}
+
+// pooledConn is a wire connection tagged with the replica it reaches.
+type pooledConn struct {
+	*nameserver.Client
+	replica int
+}
+
+// get pops an idle connection or dials a replica: the primary first, then
+// the rest, skipping replicas whose breaker is open and trying the replica
+// the caller just saw fail (avoid, -1 for none) last. It fails once the
+// pool is closed — including a dial that raced close, so no connection
+// leaks past Close.
+func (p *connPool) get(avoid int) (*pooledConn, error) {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
 	if n := len(p.free); n > 0 {
 		conn := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
 		return conn, nil
 	}
+	now := time.Now()
+	candidates := make([]int, 0, len(p.addrs))
+	for r := range p.addrs {
+		if r != avoid && p.breakers[r].allows(now, p.breakerThreshold) {
+			candidates = append(candidates, r)
+		}
+	}
+	if avoid >= 0 && avoid < len(p.addrs) && p.breakers[avoid].allows(now, p.breakerThreshold) {
+		candidates = append(candidates, avoid)
+	}
 	p.mu.Unlock()
-	return nameserver.Dial(p.network, p.addr)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("all %d replicas cooling down after repeated failures", len(p.addrs))
+	}
+	var lastErr error
+	for _, r := range candidates {
+		conn, err := p.dialReplica(r)
+		if err != nil {
+			p.fail(r)
+			lastErr = err
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return nil, ErrClientClosed
+		}
+		p.mu.Unlock()
+		return conn, nil
+	}
+	return nil, lastErr
+}
+
+// dialReplica dials one replica under the pool's timeout.
+func (p *connPool) dialReplica(r int) (*pooledConn, error) {
+	var nc *nameserver.Client
+	var err error
+	if p.timeout > 0 {
+		nc, err = nameserver.DialTimeout(p.network, p.addrs[r], p.timeout,
+			nameserver.WithTimeout(p.timeout))
+	} else {
+		nc, err = nameserver.Dial(p.network, p.addrs[r])
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &pooledConn{Client: nc, replica: r}, nil
 }
 
 // put returns a healthy connection to the pool (or closes it when the
-// pool is full or closed).
-func (p *connPool) put(conn *nameserver.Client) {
+// pool is full or closed) and resets its replica's breaker.
+func (p *connPool) put(conn *pooledConn) {
 	p.mu.Lock()
+	p.breakers[conn.replica] = breaker{}
 	if p.closed || len(p.free) >= p.max {
 		p.mu.Unlock()
 		_ = conn.Close()
@@ -374,8 +627,34 @@ func (p *connPool) put(conn *nameserver.Client) {
 	p.mu.Unlock()
 }
 
+// fail charges one transport failure to a replica's breaker, opening it at
+// the threshold, and drops idle connections to that replica (they are very
+// likely poisoned too).
+func (p *connPool) fail(replica int) {
+	p.mu.Lock()
+	b := &p.breakers[replica]
+	b.failures++
+	if p.breakerThreshold > 0 && b.failures >= p.breakerThreshold {
+		b.openUntil = time.Now().Add(p.breakerCooldown)
+	}
+	var drop []*pooledConn
+	kept := p.free[:0]
+	for _, conn := range p.free {
+		if conn.replica == replica {
+			drop = append(drop, conn)
+			continue
+		}
+		kept = append(kept, conn)
+	}
+	p.free = kept
+	p.mu.Unlock()
+	for _, conn := range drop {
+		_ = conn.Close()
+	}
+}
+
 // close closes every idle connection; in-flight connections are closed on
-// put.
+// put, and get fails from now on.
 func (p *connPool) close() {
 	p.mu.Lock()
 	free := p.free

@@ -7,27 +7,33 @@ import (
 
 	"namecoherence/internal/core"
 	"namecoherence/internal/dirtree"
+	"namecoherence/internal/faultnet"
 	"namecoherence/internal/nameserver"
 	"namecoherence/internal/treespec"
 )
 
 // Cluster is a sharded deployment of one logical naming graph: every
-// top-level prefix of the spec is served by exactly one shard, and all
-// shards live in one World so coherence across them is a meaningful,
-// checkable property.
+// top-level prefix of the spec is served by exactly one shard, each shard
+// by one or more replica servers, and all shards live in one World so
+// coherence across them is a meaningful, checkable property. Replicas of a
+// shard serve replicas of the same subtree (registered in replica groups),
+// so any replica can answer for its shard — weak coherence by construction.
 type Cluster struct {
 	// World holds every shard's entities.
 	World *core.World
-	// Trees are the per-shard subtrees, indexed by shard.
+	// Trees are the per-shard primary subtrees, indexed by shard.
 	Trees []*dirtree.Tree
+	// ReplicaTrees are every replica's subtree, indexed [shard][replica];
+	// ReplicaTrees[i][0] == Trees[i].
+	ReplicaTrees [][]*dirtree.Tree
 	// Plan records how the spec was split and routed.
 	Plan *treespec.ShardPlan
 
 	routes *nameserver.RouteInfo
 
 	mu        sync.Mutex
-	servers   []*nameserver.Server
-	listeners []net.Listener
+	servers   [][]*nameserver.Server
+	listeners [][]*faultnet.Listener
 	done      []chan struct{}
 	closed    bool
 }
@@ -37,47 +43,78 @@ type Cluster struct {
 // binding changes bump that shard's revision) and carries the cluster's
 // routing table for client bootstrap.
 func New(w *core.World, spec string, shards int) (*Cluster, error) {
+	return NewReplicated(w, spec, shards, 1)
+}
+
+// NewReplicated is New with replicas servers per shard. Each replica gets
+// an independent copy of the shard's subtree, built in the same World with
+// corresponding entities registered as replica groups, and its own
+// listener wrapped in a fault injector (see Fault) so tests and
+// experiments can take replicas down deterministically. The routing table
+// lists every replica, so failover clients can try them all.
+func NewReplicated(w *core.World, spec string, shards, replicas int) (*Cluster, error) {
 	plan, err := treespec.Split(spec, shards)
 	if err != nil {
 		return nil, err
 	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("replica count %d: need at least 1", replicas)
+	}
 	c := &Cluster{World: w, Plan: plan}
 	for i, shardSpec := range plan.Specs {
-		tr, err := treespec.Build(shardSpec, w, fmt.Sprintf("shard%d", i))
+		trees, err := treespec.BuildReplicas(shardSpec, w, fmt.Sprintf("shard%d", i), replicas)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("build shard %d: %w", i, err)
 		}
-		c.Trees = append(c.Trees, tr)
+		c.ReplicaTrees = append(c.ReplicaTrees, trees)
+		c.Trees = append(c.Trees, trees[0])
 	}
 	addrs := make([]string, shards)
-	for i, tr := range c.Trees {
-		srv := nameserver.NewServer(w, tr.RootContext())
-		srv.WatchExport(tr.Root)
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("listen for shard %d: %w", i, err)
+	replicaAddrs := make([][]string, shards)
+	for i, trees := range c.ReplicaTrees {
+		shardServers := make([]*nameserver.Server, 0, replicas)
+		shardListeners := make([]*faultnet.Listener, 0, replicas)
+		for r, tr := range trees {
+			srv := nameserver.NewServer(w, tr.RootContext())
+			srv.WatchExport(tr.Root)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("listen for shard %d replica %d: %w", i, r, err)
+			}
+			fln := faultnet.Wrap(ln)
+			replicaAddrs[i] = append(replicaAddrs[i], fln.Addr().String())
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				srv.Serve(fln)
+			}()
+			shardServers = append(shardServers, srv)
+			shardListeners = append(shardListeners, fln)
+			c.mu.Lock()
+			c.done = append(c.done, done)
+			c.mu.Unlock()
 		}
-		addrs[i] = ln.Addr().String()
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			srv.Serve(ln)
-		}()
+		addrs[i] = replicaAddrs[i][0]
 		c.mu.Lock()
-		c.servers = append(c.servers, srv)
-		c.listeners = append(c.listeners, ln)
-		c.done = append(c.done, done)
+		c.servers = append(c.servers, shardServers)
+		c.listeners = append(c.listeners, shardListeners)
 		c.mu.Unlock()
 	}
 	c.routes = &nameserver.RouteInfo{
 		Prefixes: plan.Prefixes,
 		Default:  plan.Default,
 		Addrs:    addrs,
+		Replicas: replicaAddrs,
 	}
-	for _, srv := range c.servers {
-		srv.SetRoutes(c.routes)
+	c.mu.Lock()
+	servers := c.servers
+	c.mu.Unlock()
+	for _, shard := range servers {
+		for _, srv := range shard {
+			srv.SetRoutes(c.routes)
+		}
 	}
 	return c, nil
 }
@@ -85,46 +122,73 @@ func New(w *core.World, spec string, shards int) (*Cluster, error) {
 // Shards returns the number of shards.
 func (c *Cluster) Shards() int { return len(c.Trees) }
 
+// ReplicasPerShard returns how many replica servers serve each shard.
+func (c *Cluster) ReplicasPerShard() int {
+	if len(c.ReplicaTrees) == 0 {
+		return 0
+	}
+	return len(c.ReplicaTrees[0])
+}
+
 // Routes returns the cluster's routing table (prefix → shard, shard →
-// address).
+// replica addresses).
 func (c *Cluster) Routes() *nameserver.RouteInfo { return c.routes.Clone() }
 
-// Addrs returns the shards' dial addresses.
+// Addrs returns the shards' primary dial addresses.
 func (c *Cluster) Addrs() []string {
 	return append([]string(nil), c.routes.Addrs...)
 }
 
-// Server returns shard i's name server (for revision bumps and stats).
+// Server returns shard i's primary name server (for revision bumps and
+// stats).
 func (c *Cluster) Server(i int) *nameserver.Server {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.servers[i]
+	return c.ReplicaServer(i, 0)
 }
 
-// Served sums the wire requests handled across all shards.
+// ReplicaServer returns the name server of one replica of shard i.
+func (c *Cluster) ReplicaServer(i, r int) *nameserver.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[i][r]
+}
+
+// Fault returns the fault injector in front of one replica of shard i.
+// Setting it to faultnet.Reset makes the replica look crashed; Hang makes
+// it look wedged; Pass heals it.
+func (c *Cluster) Fault(i, r int) *faultnet.Listener {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.listeners[i][r]
+}
+
+// Served sums the wire requests handled across all shards and replicas.
 func (c *Cluster) Served() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	total := 0
-	for _, s := range c.servers {
-		total += s.Served()
+	for _, shard := range c.servers {
+		for _, s := range shard {
+			total += s.Served()
+		}
 	}
 	return total
 }
 
-// Resolved sums the names resolved across all shards (batch elements
-// count individually).
+// Resolved sums the names resolved across all shards and replicas (batch
+// elements count individually).
 func (c *Cluster) Resolved() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	total := 0
-	for _, s := range c.servers {
-		total += s.Resolved()
+	for _, shard := range c.servers {
+		for _, s := range shard {
+			total += s.Resolved()
+		}
 	}
 	return total
 }
 
-// Close stops every shard server.
+// Close stops every replica server of every shard.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -135,8 +199,10 @@ func (c *Cluster) Close() {
 	servers := c.servers
 	done := c.done
 	c.mu.Unlock()
-	for _, s := range servers {
-		s.Close()
+	for _, shard := range servers {
+		for _, s := range shard {
+			s.Close()
+		}
 	}
 	for _, d := range done {
 		<-d

@@ -303,8 +303,8 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 18 {
-		t.Fatalf("tables = %d, want 18", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("tables = %d, want 19", len(tables))
 	}
 	seen := make(map[string]bool)
 	for _, tb := range tables {
@@ -523,5 +523,49 @@ func TestE14ShardedCluster(t *testing.T) {
 			t.Errorf("shards=%d: batch-64 wire requests %d not < half of unbatched %d",
 				shards, big, one)
 		}
+	}
+}
+
+func TestE15FailoverAvailability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injected TCP cluster sweep")
+	}
+	cfg := DefaultE15()
+	tb, err := E15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (healthy, one-down)", len(tb.Rows))
+	}
+	budget := cfg.Budget().Milliseconds()
+	for _, label := range []string{"healthy", "one-down"} {
+		row := rowByLabel(t, tb, label)
+		// Every name must resolve — with one replica per shard down,
+		// failover across the surviving replicas keeps availability 1.0.
+		if row[3] != "1.00" {
+			t.Errorf("%s: availability = %s, want 1.00 (row %v)", label, row[3], row)
+		}
+		// Weak coherence must hold across every client: replicas of one
+		// shard subtree are one replica group.
+		if row[7] != "1.00" {
+			t.Errorf("%s: weak coherence = %s, want 1.00 (row %v)", label, row[7], row)
+		}
+		var maxMs int
+		if _, err := fmtSscan(row[5], &maxMs); err != nil {
+			t.Fatal(err)
+		}
+		// No request may block past its deadline budget.
+		if int64(maxMs) > budget {
+			t.Errorf("%s: max lookup %dms exceeds budget %dms", label, maxMs, budget)
+		}
+	}
+	// The one-down phase must actually have exercised failover.
+	var failovers int
+	if _, err := fmtSscan(rowByLabel(t, tb, "one-down")[4], &failovers); err != nil {
+		t.Fatal(err)
+	}
+	if failovers == 0 {
+		t.Error("one-down phase recorded no failovers — fault injection is vacuous")
 	}
 }

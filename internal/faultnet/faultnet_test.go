@@ -1,0 +1,188 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on l and echoes every byte back.
+func echoServer(t *testing.T, l *Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+func startEcho(t *testing.T) *Listener {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner)
+	t.Cleanup(func() { _ = l.Close() })
+	echoServer(t, l)
+	return l
+}
+
+func roundTrip(conn net.Conn, msg string) (string, error) {
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	return string(buf[:n]), err
+}
+
+func TestPassForwards(t *testing.T) {
+	l := startEcho(t)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := roundTrip(conn, "hello")
+	if err != nil || got != "hello" {
+		t.Fatalf("echo = %q, %v", got, err)
+	}
+}
+
+func TestDropClosesNewConnsOnly(t *testing.T) {
+	l := startEcho(t)
+	old, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	if _, err := roundTrip(old, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	l.SetMode(Drop)
+	fresh, err := net.Dial("tcp", l.Addr().String())
+	if err == nil {
+		// The TCP handshake may succeed before the server-side close; the
+		// first use must fail.
+		defer fresh.Close()
+		_ = fresh.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := roundTrip(fresh, "x"); err == nil {
+			t.Fatal("round-trip on dropped connection succeeded")
+		}
+	}
+	// The established connection still works.
+	if got, err := roundTrip(old, "still"); err != nil || got != "still" {
+		t.Fatalf("established conn under Drop = %q, %v", got, err)
+	}
+	if l.Drops() == 0 {
+		t.Fatal("Drops = 0, want at least 1")
+	}
+}
+
+func TestHangBlocksUntilModeChange(t *testing.T) {
+	l := startEcho(t)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	l.SetMode(Hang)
+	// The server no longer reads: a round-trip must block past its own
+	// deadline rather than complete.
+	_ = conn.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := roundTrip(conn, "stall"); err == nil {
+		t.Fatal("round-trip completed under Hang")
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	// Healing the fault unblocks the server; the stalled bytes drain and
+	// a fresh round-trip completes.
+	l.SetMode(Pass)
+	if _, err := conn.Write([]byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestResetFailsEstablishedConns(t *testing.T) {
+	l := startEcho(t)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	l.SetMode(Reset)
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := roundTrip(conn, "dead"); err == nil {
+		t.Fatal("round-trip succeeded under Reset")
+	}
+}
+
+func TestCloseUnblocksHungConn(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner)
+	defer l.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+
+	l.SetMode(Hang)
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := server.Read(make([]byte, 8))
+		readErr <- err
+	}()
+	_ = server.Close()
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("hung read after close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hung read not unblocked by Close")
+	}
+}

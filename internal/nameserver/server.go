@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"namecoherence/internal/core"
 	"namecoherence/internal/lru"
@@ -62,8 +63,13 @@ type RouteInfo struct {
 	// Default is the shard for names whose first component has no entry
 	// (including the root shard of the cluster).
 	Default int
-	// Addrs lists the shards' dial addresses, indexed by shard.
+	// Addrs lists the shards' primary dial addresses, indexed by shard.
 	Addrs []string
+	// Replicas, when non-nil, lists every replica address per shard
+	// (Replicas[i][0] == Addrs[i]). All replicas of a shard serve replicas
+	// of the same subtree, so any of them can answer for the shard — the
+	// weak-coherence contract of §3, applied to the servers themselves.
+	Replicas [][]string
 }
 
 // Clone returns an independent copy.
@@ -76,7 +82,22 @@ func (r *RouteInfo) Clone() *RouteInfo {
 	for p, s := range r.Prefixes {
 		c.Prefixes[p] = s
 	}
+	if r.Replicas != nil {
+		c.Replicas = make([][]string, len(r.Replicas))
+		for i, addrs := range r.Replicas {
+			c.Replicas[i] = append([]string(nil), addrs...)
+		}
+	}
 	return c
+}
+
+// ReplicaAddrs returns every address serving the given shard: the replica
+// list when the deployment is replicated, else just the primary address.
+func (r *RouteInfo) ReplicaAddrs(shard int) []string {
+	if shard < len(r.Replicas) && len(r.Replicas[shard]) > 0 {
+		return append([]string(nil), r.Replicas[shard]...)
+	}
+	return []string{r.Addrs[shard]}
 }
 
 // ShardFor returns the shard index serving the given path.
@@ -326,6 +347,7 @@ type Client struct {
 	dec      *gob.Decoder
 	cache    *lru.Cache[string, core.Entity]
 	coherent bool
+	timeout  time.Duration
 	rev      uint64
 	hits     int
 	misses   int
@@ -366,6 +388,19 @@ func WithCoherentCache(n int) ClientOption {
 	return coherentCacheOption(n)
 }
 
+type timeoutOption time.Duration
+
+func (o timeoutOption) apply(c *Client) { c.timeout = time.Duration(o) }
+
+// WithTimeout bounds every round-trip: the connection deadline is set d
+// into the future before each request and cleared after the response. A
+// request against a hung server then fails with a timeout instead of
+// blocking forever; the timeout is a transport error, so the connection
+// must be discarded afterwards (the gob stream is mid-message).
+func WithTimeout(d time.Duration) ClientOption {
+	return timeoutOption(d)
+}
+
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn, opts ...ClientOption) *Client {
 	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
@@ -384,8 +419,24 @@ func Dial(network, addr string, opts ...ClientOption) (*Client, error) {
 	return NewClient(conn, opts...), nil
 }
 
-// roundTrip sends one request and decodes the response. Callers hold c.mu.
+// DialTimeout is Dial with a bound on the connection attempt itself.
+func DialTimeout(network, addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial name server: %w", err)
+	}
+	return NewClient(conn, opts...), nil
+}
+
+// roundTrip sends one request and decodes the response, under the client's
+// per-request deadline if one is set. Callers hold c.mu.
 func (c *Client) roundTrip(req request, what string) (response, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return response{}, fmt.Errorf("deadline %s: %w", what, err)
+		}
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("send %s: %w", what, err)
 	}

@@ -1,0 +1,82 @@
+package treespec
+
+import (
+	"fmt"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+)
+
+// BuildReplicas builds r independent copies of spec in w and registers
+// every pair of corresponding entities (same path, distinct entity) in one
+// replica group. The copies are therefore weakly coherent by construction
+// (§3): a name resolved at any replica denotes a replica of the same
+// replicated object, which is exactly what lets a replicated shard answer
+// from whichever server is alive.
+func BuildReplicas(spec string, w *core.World, label string, r int) ([]*dirtree.Tree, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("replica count %d: %w", r, ErrSyntax)
+	}
+	trees := make([]*dirtree.Tree, r)
+	for i := range trees {
+		lbl := label
+		if r > 1 {
+			lbl = fmt.Sprintf("%s-r%d", label, i)
+		}
+		t, err := Build(spec, w, lbl)
+		if err != nil {
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		trees[i] = t
+	}
+	if r > 1 {
+		if err := groupReplicas(w, trees); err != nil {
+			return nil, err
+		}
+	}
+	return trees, nil
+}
+
+// groupReplicas walks the primary tree and, for every path it binds, puts
+// the entities the other trees resolve that path to into one replica group
+// with the primary's entity. Aliased paths (links) resolve to an entity
+// already grouped and are skipped, so each entity joins at most one group.
+func groupReplicas(w *core.World, trees []*dirtree.Tree) error {
+	var paths []core.Path
+	trees[0].Walk(func(p core.Path, _ core.Entity) bool {
+		paths = append(paths, p.Clone())
+		return true
+	})
+	groups := make(map[core.EntityID]core.GroupID)
+	for _, p := range paths {
+		primary, err := trees[0].Lookup(p)
+		if err != nil {
+			return fmt.Errorf("replica group %q: %w", p, err)
+		}
+		for i, t := range trees[1:] {
+			e, err := t.Lookup(p)
+			if err != nil {
+				return fmt.Errorf("replica %d missing %q: %w", i+1, p, err)
+			}
+			if e == primary {
+				continue // shared entity (e.g. an attached external root)
+			}
+			if _, grouped := w.ReplicaGroup(e); grouped {
+				continue // reached via an alias path, already grouped
+			}
+			g, ok := groups[primary.ID]
+			if !ok {
+				g, err = w.NewReplicaGroup(primary, e)
+				if err != nil {
+					return fmt.Errorf("replica group %q: %w", p, err)
+				}
+				groups[primary.ID] = g
+				continue
+			}
+			if err := w.AddReplica(g, e); err != nil {
+				return fmt.Errorf("replica group %q: %w", p, err)
+			}
+		}
+	}
+	return nil
+}

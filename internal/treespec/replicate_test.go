@@ -1,0 +1,75 @@
+package treespec
+
+import (
+	"testing"
+
+	"namecoherence/internal/core"
+)
+
+const replicaSpec = `
+dir /usr/bin
+file /usr/bin/ls "#!ls"
+file /etc/passwd "root"
+link /mnt /usr
+`
+
+func TestBuildReplicasGroupsCorrespondingEntities(t *testing.T) {
+	w := core.NewWorld()
+	trees, err := BuildReplicas(replicaSpec, w, "shard0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 3 {
+		t.Fatalf("trees = %d, want 3", len(trees))
+	}
+	for _, raw := range []string{"usr", "usr/bin", "usr/bin/ls", "etc/passwd", "mnt/bin/ls"} {
+		p := core.ParsePath(raw)
+		e0, err := trees[0].Lookup(p)
+		if err != nil {
+			t.Fatalf("replica 0 lookup %s: %v", raw, err)
+		}
+		for i, tr := range trees[1:] {
+			e, err := tr.Lookup(p)
+			if err != nil {
+				t.Fatalf("replica %d lookup %s: %v", i+1, raw, err)
+			}
+			if e == e0 {
+				t.Fatalf("%s: replicas %d and 0 share one entity — not replicated", raw, i+1)
+			}
+			if !w.SameReplica(e0, e) {
+				t.Fatalf("%s: replica %d entity %v not same-replica with %v", raw, i+1, e, e0)
+			}
+		}
+	}
+	// Entities of different paths must not be welded into one group.
+	ls0, _ := trees[0].Lookup(core.ParsePath("usr/bin/ls"))
+	passwd1, _ := trees[1].Lookup(core.ParsePath("etc/passwd"))
+	if w.SameReplica(ls0, passwd1) {
+		t.Fatal("distinct files grouped as replicas")
+	}
+}
+
+func TestBuildReplicasSingleCopyHasNoGroups(t *testing.T) {
+	w := core.NewWorld()
+	trees, err := BuildReplicas(replicaSpec, w, "solo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := trees[0].Lookup(core.ParsePath("usr/bin/ls"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, grouped := w.ReplicaGroup(e); grouped {
+		t.Fatal("single replica registered a group")
+	}
+}
+
+func TestBuildReplicasRejectsBadInput(t *testing.T) {
+	w := core.NewWorld()
+	if _, err := BuildReplicas(replicaSpec, w, "x", 0); err == nil {
+		t.Fatal("0 replicas should fail")
+	}
+	if _, err := BuildReplicas("bogus line\n", w, "x", 2); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+}

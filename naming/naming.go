@@ -132,6 +132,10 @@ type (
 	Report = coherence.Report
 	// PairMatrix is the pairwise agreement matrix.
 	PairMatrix = coherence.PairMatrix
+	// ServiceResolver is a client-side view of a naming service: anything
+	// that resolves a compound name to an entity (sharded clients
+	// included); MeasureResolvers probes coherence across a set of them.
+	ServiceResolver = coherence.Resolver
 )
 
 // Coherence outcomes.
@@ -150,4 +154,7 @@ var (
 	Measure = coherence.Measure
 	// MeasurePairs computes pairwise agreement fractions.
 	MeasurePairs = coherence.MeasurePairs
+	// MeasureResolvers probes names across service clients (e.g. the
+	// failover clients of a replicated sharded cluster).
+	MeasureResolvers = coherence.MeasureResolvers
 )

@@ -254,6 +254,10 @@ type (
 var (
 	// NewShardedCluster splits a treespec across n shards and serves them.
 	NewShardedCluster = cluster.New
+	// NewReplicatedCluster additionally serves every shard from r replica
+	// servers — replicas of the same subtree, weakly coherent by
+	// construction, so clients can fail over when one dies.
+	NewReplicatedCluster = cluster.NewReplicated
 	// DialShardedCluster bootstraps a client from any one cluster member.
 	DialShardedCluster = cluster.Dial
 	// NewShardedClient builds a client over a known routing table.
@@ -262,9 +266,24 @@ var (
 	WithShardLRU = cluster.WithLRU
 	// WithShardPoolSize caps idle pooled connections per shard.
 	WithShardPoolSize = cluster.WithPoolSize
+	// WithShardTimeout bounds every dial and round-trip of a cluster
+	// client (the failure-model deadline).
+	WithShardTimeout = cluster.WithTimeout
+	// WithShardRetries bounds the retry attempts after transport failures.
+	WithShardRetries = cluster.WithRetries
+	// WithShardBackoff sets the base of the exponential retry backoff.
+	WithShardBackoff = cluster.WithBackoff
+	// WithShardBreaker configures the per-replica circuit breaker.
+	WithShardBreaker = cluster.WithBreaker
 	// SplitTreeSpec partitions a treespec into per-shard subtrees.
 	SplitTreeSpec = treespec.Split
+	// BuildReplicaTrees builds r copies of a treespec whose corresponding
+	// entities form replica groups (weak coherence by construction).
+	BuildReplicaTrees = treespec.BuildReplicas
 )
+
+// ErrShardedClientClosed fails requests racing or following Close.
+var ErrShardedClientClosed = cluster.ErrClientClosed
 
 // Replicated name service (weak coherence at the service level).
 type (
