@@ -1,0 +1,32 @@
+// Command namingvet is the repo's invariant checker: a multichecker over
+// the internal/analysis suite, runnable standalone
+//
+//	go run ./cmd/namingvet ./...
+//
+// or as a vet tool, which is how CI runs it on every PR:
+//
+//	go build -o bin/namingvet ./cmd/namingvet
+//	go vet -vettool=$PWD/bin/namingvet ./...
+//
+// Each analyzer guards one invariant the cluster's correctness rests on;
+// see DESIGN.md §"Static analysis & invariants".
+package main
+
+import (
+	"namecoherence/internal/analysis"
+	"namecoherence/internal/analysis/bindingsleak"
+	"namecoherence/internal/analysis/conndeadline"
+	"namecoherence/internal/analysis/detrand"
+	"namecoherence/internal/analysis/errwrap"
+	"namecoherence/internal/analysis/lockheld"
+)
+
+func main() {
+	analysis.Main("namingvet", []*analysis.Analyzer{
+		lockheld.Analyzer,
+		conndeadline.Analyzer,
+		errwrap.Analyzer,
+		bindingsleak.Analyzer,
+		detrand.Analyzer,
+	})
+}

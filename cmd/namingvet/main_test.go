@@ -1,0 +1,77 @@
+package main
+
+// End-to-end tests of the two invocation modes: standalone (our own
+// loader) and `go vet -vettool` (the unitchecker protocol, driven by the
+// real go command).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "namingvet")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/namingvet")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build namingvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestVettoolCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildVet(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/lru", "./internal/nameserver")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("vettool flagged a clean package: %v\n%s", err, out)
+	}
+}
+
+func TestStandaloneFindsSeededBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and type-checks a fixture")
+	}
+	bin := buildVet(t)
+	// The lockheld analysistest fixture is a real compilable package with
+	// known violations; standalone mode must report them and exit 2.
+	fixture := filepath.Join(repoRoot(t), "internal", "analysis", "lockheld", "testdata", "src", "a")
+	cmd := exec.Command(bin, ".")
+	cmd.Dir = fixture
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone run on a buggy fixture exited clean:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want exit status 2\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "lockheld") {
+		t.Fatalf("diagnostics missing analyzer name:\n%s", out)
+	}
+}

@@ -1,0 +1,244 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface this repository needs. The
+// container image carries no module proxy, so the framework is built on the
+// standard library alone: go/ast and go/types for inspection, go list
+// -export for loading, and the stdlib gc importer for dependency type
+// information. Analyzers written against it enforce the repo's coherence,
+// locking, and deadline invariants mechanically (see cmd/namingvet).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc states the invariant the analyzer guards.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Diagnostics on _test.go files and
+	// diagnostics suppressed by a namingvet:ignore directive are dropped
+	// by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a diagnostic resolved to a position, tagged with its analyzer.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		f.Posn.Filename, f.Posn.Line, f.Posn.Column, f.Analyzer, f.Message)
+}
+
+// ignoreIndex records which analyzers are suppressed where, from
+//
+//	//namingvet:ignore name1,name2 -- reason
+//
+// directives (suppressing the directive's line and the following line, so
+// the comment may sit above or beside the flagged expression) and
+//
+//	//namingvet:file-ignore name -- reason
+//
+// directives (suppressing a whole file).
+type ignoreIndex struct {
+	files map[string]map[string]bool // filename -> analyzer -> ignored
+	lines map[string]map[int]map[string]bool
+}
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{
+		files: make(map[string]map[string]bool),
+		lines: make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, fileWide := strings.CutPrefix(c.Text, "//namingvet:file-ignore ")
+				if !fileWide {
+					var ok bool
+					text, ok = strings.CutPrefix(c.Text, "//namingvet:ignore ")
+					if !ok {
+						continue
+					}
+				}
+				names, _, _ := strings.Cut(text, "--")
+				posn := fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if fileWide {
+						if idx.files[posn.Filename] == nil {
+							idx.files[posn.Filename] = make(map[string]bool)
+						}
+						idx.files[posn.Filename][name] = true
+						continue
+					}
+					byLine := idx.lines[posn.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						idx.lines[posn.Filename] = byLine
+					}
+					for _, line := range []int{posn.Line, posn.Line + 1} {
+						if byLine[line] == nil {
+							byLine[line] = make(map[string]bool)
+						}
+						byLine[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *ignoreIndex) ignored(analyzer string, posn token.Position) bool {
+	if idx.files[posn.Filename][analyzer] {
+		return true
+	}
+	return idx.lines[posn.Filename][posn.Line][analyzer]
+}
+
+// RunAnalyzers runs every analyzer over one type-checked package and
+// returns the surviving findings. Findings on _test.go files are dropped:
+// tests legitimately compare sentinel identity, hold locks over pipe I/O,
+// and read wall clocks, and the invariants guard production paths.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			posn := pkg.Fset.Position(d.Pos)
+			if strings.HasSuffix(posn.Filename, "_test.go") {
+				return
+			}
+			if idx.ignored(a.Name, posn) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Posn: posn, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	return findings, nil
+}
+
+// WalkWithStack walks every file, calling fn with each node and the stack
+// of its ancestors (outermost first, not including the node itself).
+func WalkWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// ErrorType reports whether t implements the error interface.
+func ErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// CalleeFunc resolves the called function or method of call, or nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsNamedType reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// HasMethods reports whether t's method set includes every named method
+// (by name only — the conn-ish duck test used by lockheld/conndeadline).
+func HasMethods(t types.Type, names ...string) bool {
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	for _, name := range names {
+		found := false
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

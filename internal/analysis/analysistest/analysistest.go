@@ -1,0 +1,110 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against // want "regexp" comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (stdlib-only re-creation; the
+// image has no module proxy). Testdata packages live under
+// <analyzer>/testdata/src/<pkg> inside the module, so the go toolchain can
+// compile their dependencies and hand us real export data — the analyzers
+// see genuine net.Conn, sync.Mutex, and gob types, not mocks.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"namecoherence/internal/analysis"
+)
+
+// expectation is one // want comment: a diagnostic regexp pinned to a line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// Run loads testdata/src/<pkg> relative to the test's working directory,
+// runs the analyzer, and reports mismatches between its diagnostics and
+// the package's // want comments. Every want must be matched by a
+// diagnostic on its line, and every diagnostic must match a want.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(dir, []string{"."})
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	p := pkgs[0]
+
+	wants := collectWants(t, p)
+	findings, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Posn.Filename && w.line == f.Posn.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the package.
+func collectWants(t *testing.T, p *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("%s: malformed want comment: %s",
+							p.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pattern := m[1]
+				if m[2] != "" {
+					pattern = m[2]
+				} else {
+					pattern = unquoteLite(pattern)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp: %v", p.Fset.Position(c.Pos()), err)
+				}
+				posn := p.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteLite undoes the \" and \\ escapes allowed inside a quoted want.
+func unquoteLite(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return strings.ReplaceAll(s, `\\`, `\`)
+}

@@ -1,0 +1,12 @@
+package bindingsleak_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/bindingsleak"
+)
+
+func TestBindingsLeak(t *testing.T) {
+	analysistest.Run(t, bindingsleak.Analyzer, "a")
+}

@@ -1,0 +1,89 @@
+// Package a exercises bindingsleak: the bindings map backing a context
+// object stays inside the owning type's methods and never escapes raw.
+package a
+
+import "sync"
+
+type Name string
+
+type Entity struct{ ID uint64 }
+
+// Context is the owning type: its bindings map is the N → E function.
+type Context struct {
+	mu       sync.RWMutex
+	bindings map[Name]Entity
+}
+
+func New() *Context {
+	return &Context{bindings: make(map[Name]Entity)} // composite-literal init is fine
+}
+
+// Bind mutates through a method: allowed.
+func (c *Context) Bind(n Name, e Entity) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bindings[n] = e
+}
+
+// Lookup indexes through a method: allowed.
+func (c *Context) Lookup(n Name) Entity {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.bindings[n]
+}
+
+// Snapshot copies: ranging and len are contained uses.
+func (c *Context) Snapshot() map[Name]Entity {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := make(map[Name]Entity, len(c.bindings))
+	for n, e := range c.bindings {
+		m[n] = e
+	}
+	return m
+}
+
+// Clone may fill another instance's map: still inside the owning type.
+func (c *Context) Clone() *Context {
+	d := New()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for n, e := range c.bindings {
+		d.bindings[n] = e
+	}
+	return d
+}
+
+// Raw leaks the live map out of the abstraction.
+func (c *Context) Raw() map[Name]Entity {
+	return c.bindings // want `bindings map of Context escapes via return`
+}
+
+// publish stores the live map in a composite literal.
+type view struct{ m map[Name]Entity }
+
+func (c *Context) publish() view {
+	return view{m: c.bindings} // want `bindings map of Context escapes via composite literal`
+}
+
+// inspect passes the live map to an arbitrary function.
+func (c *Context) inspect(f func(map[Name]Entity)) {
+	f(c.bindings) // want `bindings map of Context escapes via call argument`
+}
+
+// steal mutates the map outside any method of Context.
+func steal(c *Context, n Name, e Entity) {
+	c.bindings[n] = e // want `bindings map of Context accessed outside its methods`
+}
+
+// peek reads it outside a method: also a violation (no lock is held).
+func peek(c *Context, n Name) Entity {
+	return c.bindings[n] // want `bindings map of Context accessed outside its methods`
+}
+
+// Other types with a bindings field that is not a map are not tracked.
+type labelled struct {
+	bindings []string
+}
+
+func (l *labelled) first() string { return l.bindings[0] }

@@ -1,0 +1,116 @@
+// Package conndeadline enforces the transport-deadline invariant of the
+// fault-tolerant cluster (DESIGN §3a): inside internal/cluster and
+// internal/nameserver, every net.Conn read/write — including the gob
+// encode/decode calls that carry the wire protocol — must be lexically
+// preceded, within the same function, by a SetDeadline/SetReadDeadline/
+// SetWriteDeadline call, and raw net.Dial is forbidden in favor of
+// net.DialTimeout (or DialContext). An unbounded round-trip against a hung
+// replica turns one wedged server into a wedged client; the failover and
+// circuit-breaker logic only runs when I/O fails in bounded time.
+package conndeadline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"namecoherence/internal/analysis"
+)
+
+// Scope limits the analyzer to packages whose import path contains one of
+// these substrings. Deadlines are a transport concern; in-memory packages
+// are exempt.
+var Scope = []string{"cluster", "nameserver"}
+
+// Analyzer is the conndeadline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "conndeadline",
+	Doc:  "requires a SetDeadline before net.Conn/gob wire I/O and forbids raw net.Dial in transport packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func inScope(path string) bool {
+	for _, s := range Scope {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc verifies one function: every wire I/O call must come after
+// some deadline call in the same function body.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var deadlines []token.Pos
+	type ioCall struct {
+		pos  token.Pos
+		what string
+	}
+	var ios []ioCall
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		recv := callee.Type().(*types.Signature).Recv()
+		switch callee.Name() {
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+			deadlines = append(deadlines, call.Pos())
+		case "Dial":
+			if callee.Pkg() != nil && callee.Pkg().Path() == "net" && recv == nil {
+				pass.Reportf(call.Pos(),
+					"raw net.Dial is unbounded; use net.DialTimeout so a dead replica costs one timeout")
+			}
+		case "Encode":
+			if recv != nil && analysis.IsNamedType(recv.Type(), "encoding/gob", "Encoder") {
+				ios = append(ios, ioCall{call.Pos(), "gob encode"})
+			}
+		case "Decode":
+			if recv != nil && analysis.IsNamedType(recv.Type(), "encoding/gob", "Decoder") {
+				ios = append(ios, ioCall{call.Pos(), "gob decode"})
+			}
+		case "Read", "Write":
+			if recv != nil && analysis.HasMethods(recv.Type(), "Read", "Write", "SetDeadline") {
+				ios = append(ios, ioCall{call.Pos(), "conn " + strings.ToLower(callee.Name())})
+			}
+		}
+		return true
+	})
+
+	for _, io := range ios {
+		guarded := false
+		for _, d := range deadlines {
+			if d < io.pos {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			pass.Reportf(io.pos,
+				"%s without a preceding SetDeadline in %s; unbounded wire I/O defeats failover",
+				io.what, fn.Name.Name)
+		}
+	}
+}

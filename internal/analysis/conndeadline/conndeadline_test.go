@@ -1,0 +1,12 @@
+package conndeadline_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/conndeadline"
+)
+
+func TestConnDeadline(t *testing.T) {
+	analysistest.Run(t, conndeadline.Analyzer, "cluster")
+}

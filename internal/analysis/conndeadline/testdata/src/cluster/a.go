@@ -1,0 +1,58 @@
+// Package cluster exercises conndeadline: inside transport packages every
+// wire I/O call needs a lexically preceding SetDeadline, and raw net.Dial
+// is forbidden. (The directory is named cluster so the testdata package
+// path lands in the analyzer's scope.)
+package cluster
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+)
+
+type client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// badRoundTrip does wire I/O with no deadline anywhere in the function.
+func (c *client) badRoundTrip(req, resp any) error {
+	if err := c.enc.Encode(req); err != nil { // want `gob encode without a preceding SetDeadline`
+		return err
+	}
+	return c.dec.Decode(resp) // want `gob decode without a preceding SetDeadline`
+}
+
+// badRead reads the conn raw.
+func (c *client) badRead(buf []byte) (int, error) {
+	return c.conn.Read(buf) // want `conn read without a preceding SetDeadline`
+}
+
+// badDial uses the unbounded dialer.
+func badDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `raw net\.Dial is unbounded`
+}
+
+// okRoundTrip bounds the exchange first.
+func (c *client) okRoundTrip(req, resp any, d time.Duration) error {
+	if err := c.conn.SetDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	if err := c.enc.Encode(req); err != nil {
+		return err
+	}
+	return c.dec.Decode(resp)
+}
+
+// okDial uses the bounded dialer.
+func okDial(addr string, d time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, d)
+}
+
+// okIgnored documents an intentional unbounded read.
+func (c *client) okIgnored(buf []byte) (int, error) {
+	//namingvet:ignore conndeadline -- idle reads block until the peer speaks; Close unblocks them
+	return c.conn.Read(buf)
+}

@@ -1,0 +1,16 @@
+// The allowlisted clock seam: the one file in a deterministic package
+// that may read the wall clock, marked by a file-ignore directive.
+
+//namingvet:file-ignore detrand -- single wall-clock seam; tests stub now
+
+package experiments
+
+import "time"
+
+var now = time.Now
+
+func since(start time.Time) time.Duration {
+	return now().Sub(start)
+}
+
+var _ = since

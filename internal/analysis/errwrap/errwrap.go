@@ -1,0 +1,127 @@
+// Package errwrap keeps the error chain intact across package boundaries.
+// The cluster's retry, failover, and breaker logic dispatches on
+// errors.Is/errors.As (ErrClientClosed, RemoteError, io.EOF); both break
+// silently if a sentinel is compared with == or a cause is formatted with
+// %v instead of wrapped with %w. Two checks:
+//
+//  1. comparing error values with == or != (except against nil) — use
+//     errors.Is, which sees through fmt.Errorf("%w", …) wrapping;
+//  2. fmt.Errorf formatting an error-typed argument with %v, %s, or %q —
+//     use %w so callers' errors.Is/errors.As keep working.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"namecoherence/internal/analysis"
+)
+
+// Analyzer is the errwrap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "requires errors.Is over == for sentinels and %w over %v when wrapping errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, node)
+			case *ast.CallExpr:
+				checkErrorf(pass, node)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCompare flags == and != between error values (nil excepted).
+func checkCompare(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	x, y := pass.TypesInfo.Types[e.X], pass.TypesInfo.Types[e.Y]
+	if x.IsNil() || y.IsNil() {
+		return
+	}
+	if analysis.ErrorType(x.Type) || analysis.ErrorType(y.Type) {
+		pass.Reportf(e.OpPos,
+			"error compared with %s; use errors.Is so wrapped sentinels still match", e.Op)
+	}
+}
+
+// checkErrorf flags fmt.Errorf arguments of error type formatted with a
+// display verb instead of %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := parseVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // indexed or otherwise exotic format; out of scope
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if verb != 'v' && verb != 's' && verb != 'q' {
+			continue
+		}
+		t := pass.TypesInfo.Types[args[i]].Type
+		if t != nil && analysis.ErrorType(t) && !isNilInterface(pass, args[i]) {
+			pass.Reportf(args[i].Pos(),
+				"error formatted with %%%c; use %%w so errors.Is sees the cause", verb)
+		}
+	}
+}
+
+func isNilInterface(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.TypesInfo.Types[e].IsNil()
+}
+
+// parseVerbs returns the verb letter consuming each successive argument of
+// a Printf-style format. Width/precision stars consume an argument slot
+// (reported as verb '*'); explicit argument indexes make the mapping
+// positional-unsafe, so parsing reports !ok and the call is skipped.
+func parseVerbs(format string) (verbs []rune, ok bool) {
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		for i < len(runes) {
+			c := runes[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, "a")
+}

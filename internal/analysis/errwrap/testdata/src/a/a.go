@@ -1,0 +1,55 @@
+// Package a exercises errwrap: sentinels are matched with errors.Is, and
+// causes are wrapped with %w, never displayed away with %v.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrClosed is a package sentinel like cluster.ErrClientClosed.
+var ErrClosed = errors.New("closed")
+
+func badCompare(err error) bool {
+	return err == ErrClosed // want `error compared with ==; use errors\.Is`
+}
+
+func badCompareNeq(err error) bool {
+	if err != io.EOF { // want `error compared with !=; use errors\.Is`
+		return false
+	}
+	return true
+}
+
+func badWrapV(err error) error {
+	return fmt.Errorf("resolve failed: %v", err) // want `error formatted with %v; use %w`
+}
+
+func badWrapMixed(err error) error {
+	return fmt.Errorf("decode: %w: %v", ErrClosed, err) // want `error formatted with %v; use %w`
+}
+
+func badWrapS(err error) error {
+	return fmt.Errorf("shard %d: %s", 3, err) // want `error formatted with %s; use %w`
+}
+
+func okIs(err error) bool {
+	return errors.Is(err, ErrClosed) || err == nil || nil != err
+}
+
+func okWrap(err error) error {
+	return fmt.Errorf("resolve failed: %w", err)
+}
+
+func okDoubleWrap(err error) error {
+	return fmt.Errorf("decode: %w: %w", ErrClosed, err)
+}
+
+func okNonError(name string, n int) error {
+	return fmt.Errorf("entity %v of %q: %d", name, name, n)
+}
+
+func okErrorMethod(err error) string {
+	return fmt.Sprintf("%v", err) // Sprintf displays; only Errorf wraps
+}

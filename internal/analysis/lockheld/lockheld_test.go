@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+// Package a exercises lockheld: blocking I/O (gob, net.Conn, Dial*,
+// Sleep) must not be reachable while a sync mutex is held.
+package a
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rwmu sync.RWMutex
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	conn net.Conn
+	n    int
+}
+
+// direct I/O between Lock and Unlock is flagged.
+func (s *server) badDirect(v any) error {
+	s.mu.Lock()
+	err := s.enc.Encode(v) // want `gob encode while s\.mu is held`
+	s.mu.Unlock()
+	return err
+}
+
+// a deferred unlock keeps the lock held to the end of the function.
+func (s *server) badDeferred(v any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dec.Decode(v) // want `gob decode while s\.mu is held`
+}
+
+// read locks count too, and conn I/O and dials are in the blocking set.
+func (s *server) badConn(buf []byte) {
+	s.rwmu.RLock()
+	_, _ = s.conn.Read(buf)               // want `net\.Conn Read while s\.rwmu is held`
+	_, _ = net.Dial("tcp", "127.0.0.1:1") // want `Dial while s\.rwmu is held`
+	time.Sleep(time.Millisecond)          // want `time\.Sleep while s\.rwmu is held`
+	s.rwmu.RUnlock()
+}
+
+// roundTrip performs I/O with no lock of its own: fine here, but it
+// taints callers that hold a lock (transitive closure).
+func (s *server) roundTrip(v any) error {
+	if err := s.enc.Encode(v); err != nil {
+		return err
+	}
+	return s.dec.Decode(v)
+}
+
+func (s *server) badIndirect(v any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.roundTrip(v) // want `call to roundTrip, which performs blocking I/O, while s\.mu is held`
+}
+
+// okAfterUnlock releases before the round-trip: the early-exit idiom.
+func (s *server) okAfterUnlock(v any) error {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.n++
+	s.mu.Unlock()
+	return s.roundTrip(v)
+}
+
+// okGoroutine: a spawned goroutine does not inherit the creator's locks.
+func (s *server) okGoroutine(v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = s.roundTrip(v)
+	}()
+}
+
+// okPlainLock: bookkeeping under a lock without I/O is fine.
+func (s *server) okPlainLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,18 @@
+// The single wall-clock seam for the experiments package. Experiments
+// must be deterministic given a seed (detrand enforces this); latency
+// measurement is the one legitimate wall-clock use, so it is funneled
+// through these two hooks, which a test can stub.
+
+//namingvet:file-ignore detrand -- sole wall-clock seam; everything else in the package goes through now/since
+
+package experiments
+
+import "time"
+
+// now reads the wall clock. Stubbed in tests that need fixed timings.
+var now = time.Now
+
+// since reports the elapsed time from start, via the now hook.
+func since(start time.Time) time.Duration {
+	return now().Sub(start)
+}

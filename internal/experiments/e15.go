@@ -147,9 +147,9 @@ func e15Phase(cfg E15Config, cl *cluster.Cluster, clients []*cluster.Client,
 			defer wg.Done()
 			gen := workload.New(cfg.Seed + int64(i))
 			for _, k := range gen.Zipf(cfg.Lookups, len(paths)) {
-				start := time.Now()
+				start := now()
 				_, err := client.Resolve(paths[k])
-				wait := time.Since(start)
+				wait := since(start)
 				outcomes[i].total++
 				if err == nil {
 					outcomes[i].ok++

@@ -13,65 +13,6 @@ import (
 	"namecoherence/internal/lru"
 )
 
-// request is one message from client to server. Exactly one of the three
-// request forms is used per message: a single resolve (Path), a batched
-// resolve (Paths — one round-trip resolves every element), or a routing
-// fetch (Routes — cluster clients bootstrap the shard map from any member).
-type request struct {
-	// Path is the compound name, one component per element.
-	Path []string
-	// Paths, when non-nil, is a batch of compound names.
-	Paths [][]string
-	// Routes requests the server's routing table.
-	Routes bool
-}
-
-// result is one resolution outcome inside a batched response.
-type result struct {
-	// ID and Kind identify the resolved entity (0 on failure).
-	ID   uint64
-	Kind uint8
-	// Err carries the failure message, empty on success.
-	Err string
-}
-
-// response is the server's answer.
-type response struct {
-	// ID and Kind identify the resolved entity (0 on failure).
-	ID   uint64
-	Kind uint8
-	// Rev is the server's binding revision at answer time; coherent client
-	// caches purge stale entries when it advances. For a batch it covers
-	// every element.
-	Rev uint64
-	// Err carries the failure message, empty on success.
-	Err string
-	// Results answers a batched request, in request order.
-	Results []result
-	// Routes answers a routing fetch.
-	Routes *RouteInfo
-}
-
-// RouteInfo describes a sharded deployment of one logical naming graph:
-// which shard serves each first-component prefix, and where every shard
-// listens. Servers of a cluster all carry the same RouteInfo, so a client
-// can bootstrap from any one member.
-type RouteInfo struct {
-	// Prefixes maps a name's first component to the index of the shard
-	// serving that subtree.
-	Prefixes map[string]int
-	// Default is the shard for names whose first component has no entry
-	// (including the root shard of the cluster).
-	Default int
-	// Addrs lists the shards' primary dial addresses, indexed by shard.
-	Addrs []string
-	// Replicas, when non-nil, lists every replica address per shard
-	// (Replicas[i][0] == Addrs[i]). All replicas of a shard serve replicas
-	// of the same subtree, so any of them can answer for the shard — the
-	// weak-coherence contract of §3, applied to the servers themselves.
-	Replicas [][]string
-}
-
 // Clone returns an independent copy.
 func (r *RouteInfo) Clone() *RouteInfo {
 	c := &RouteInfo{
@@ -176,6 +117,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 	for {
 		var req request
+		//namingvet:ignore conndeadline -- an idle server read blocks until the peer speaks; Close unblocks it by closing the conn
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or broken peer
 		}
@@ -188,9 +130,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.served++
 		s.resolved += names
 		s.mu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(serveWriteTimeout))
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+		_ = conn.SetWriteDeadline(time.Time{})
 	}
 }
 
@@ -339,15 +283,25 @@ func (e *RemoteError) Error() string { return "remote: " + e.Msg }
 
 // Client is a connection to a name server with an optional resolution
 // cache. Client is safe for concurrent use; requests are serialized on the
-// connection.
+// connection by the wire token, while the cache and counters live under
+// their own short-section mutex — so Stats and cache bookkeeping never
+// wait behind a slow or hung server (lockheld: no mutex is held across
+// wire I/O).
 type Client struct {
-	mu       sync.Mutex
-	conn     net.Conn
-	enc      *gob.Encoder
-	dec      *gob.Decoder
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration // immutable after the options run
+
+	// wire is a capacity-1 token serializing round-trips on the shared
+	// gob stream. Responses are applied (noteRevision, cache fills) before
+	// the token is released, so they land in response order: a stale
+	// entity can never be cached after a newer revision purged it.
+	wire chan struct{}
+
+	mu       sync.Mutex // guards the fields below; never held across I/O
 	cache    *lru.Cache[string, core.Entity]
 	coherent bool
-	timeout  time.Duration
 	rev      uint64
 	hits     int
 	misses   int
@@ -403,20 +357,31 @@ func WithTimeout(d time.Duration) ClientOption {
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn, opts ...ClientOption) *Client {
-	c := &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c := &Client{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+		wire: make(chan struct{}, 1),
+	}
 	for _, o := range opts {
 		o.apply(c)
 	}
 	return c
 }
 
-// Dial connects to a server listening at addr.
+// defaultDialTimeout bounds Dial's connection attempt. A raw net.Dial is
+// unbounded (conndeadline); callers wanting a different bound use
+// DialTimeout.
+const defaultDialTimeout = 10 * time.Second
+
+// serveWriteTimeout bounds each response write so a stalled peer cannot
+// pin a server goroutine forever.
+const serveWriteTimeout = time.Minute
+
+// Dial connects to a server listening at addr. The connection attempt is
+// bounded by a default timeout.
 func Dial(network, addr string, opts ...ClientOption) (*Client, error) {
-	conn, err := net.Dial(network, addr)
-	if err != nil {
-		return nil, fmt.Errorf("dial name server: %w", err)
-	}
-	return NewClient(conn, opts...), nil
+	return DialTimeout(network, addr, defaultDialTimeout, opts...)
 }
 
 // DialTimeout is Dial with a bound on the connection attempt itself.
@@ -428,8 +393,14 @@ func DialTimeout(network, addr string, timeout time.Duration, opts ...ClientOpti
 	return NewClient(conn, opts...), nil
 }
 
+// beginWire acquires the round-trip token; endWire releases it. Apply a
+// response's revision and cache fills before endWire, so applications
+// happen in response order.
+func (c *Client) beginWire() { c.wire <- struct{}{} }
+func (c *Client) endWire()   { <-c.wire }
+
 // roundTrip sends one request and decodes the response, under the client's
-// per-request deadline if one is set. Callers hold c.mu.
+// per-request deadline if one is set. Callers hold the wire token.
 func (c *Client) roundTrip(req request, what string) (response, error) {
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
@@ -469,29 +440,36 @@ func (c *Client) noteRevision(rev uint64) {
 func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 	key := p.String()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cache != nil {
 		if e, ok := c.cache.Get(key); ok {
 			c.hits++
+			c.mu.Unlock()
 			return e, nil
 		}
 	}
 	c.misses++
+	c.mu.Unlock()
+
 	req := request{Path: make([]string, len(p))}
 	for i, n := range p {
 		req.Path[i] = string(n)
 	}
+	c.beginWire()
 	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
 	if err != nil {
+		c.endWire()
 		return core.Undefined, err
 	}
+	e := core.Entity{ID: core.EntityID(resp.ID), Kind: core.Kind(resp.Kind)}
+	c.mu.Lock()
 	c.noteRevision(resp.Rev)
+	if resp.Err == "" && c.cache != nil {
+		c.cache.Put(key, e)
+	}
+	c.mu.Unlock()
+	c.endWire()
 	if resp.Err != "" {
 		return core.Undefined, &RemoteError{Msg: resp.Err}
-	}
-	e := core.Entity{ID: core.EntityID(resp.ID), Kind: core.Kind(resp.Kind)}
-	if c.cache != nil {
-		c.cache.Put(key, e)
 	}
 	return e, nil
 }
@@ -504,8 +482,8 @@ func (c *Client) ResolveRev(p core.Path) (core.Entity, uint64, error) {
 	for i, n := range p {
 		req.Path[i] = string(n)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.beginWire()
+	defer c.endWire()
 	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
 	if err != nil {
 		return core.Undefined, 0, err
@@ -528,8 +506,8 @@ func (c *Client) ResolveBatchRev(paths []core.Path) ([]BatchResult, uint64, erro
 		}
 		req.Paths[k] = raw
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.beginWire()
+	defer c.endWire()
 	resp, err := c.roundTrip(req, fmt.Sprintf("resolve batch of %d", len(paths)))
 	if err != nil {
 		return nil, 0, err
@@ -565,12 +543,11 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 	if len(paths) == 0 {
 		return out, nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 
 	// Answer what we can from the cache; collect the rest, deduplicated.
 	need := make(map[string][]int)
 	var order []string
+	c.mu.Lock()
 	for i, p := range paths {
 		key := p.String()
 		if c.cache != nil {
@@ -586,6 +563,7 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 		}
 		need[key] = append(need[key], i)
 	}
+	c.mu.Unlock()
 	if len(order) == 0 {
 		return out, nil
 	}
@@ -599,13 +577,17 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 		}
 		req.Paths[k] = raw
 	}
+	c.beginWire()
 	resp, err := c.roundTrip(req, fmt.Sprintf("resolve batch of %d", len(order)))
 	if err != nil {
+		c.endWire()
 		return nil, err
 	}
 	if len(resp.Results) != len(order) {
+		c.endWire()
 		return nil, fmt.Errorf("resolve batch: got %d results for %d paths", len(resp.Results), len(order))
 	}
+	c.mu.Lock()
 	c.noteRevision(resp.Rev)
 	for k, res := range resp.Results {
 		var br BatchResult
@@ -621,14 +603,16 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 			out[i] = br
 		}
 	}
+	c.mu.Unlock()
+	c.endWire()
 	return out, nil
 }
 
 // Routes fetches the routing table of a sharded deployment from the
 // server. Servers outside a cluster answer with a RemoteError.
 func (c *Client) Routes() (*RouteInfo, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.beginWire()
+	defer c.endWire()
 	resp, err := c.roundTrip(request{Routes: true}, "routes")
 	if err != nil {
 		return nil, err

@@ -1,0 +1,87 @@
+// Wire protocol of the name service: every type that crosses a
+// connection is declared (and gob-registered) here, in one place, so the
+// protocol surface is auditable at a glance and the round-trip test in
+// wire_test.go cannot miss a type.
+
+package nameserver
+
+import "encoding/gob"
+
+// request is one message from client to server. Exactly one of the three
+// request forms is used per message: a single resolve (Path), a batched
+// resolve (Paths — one round-trip resolves every element), or a routing
+// fetch (Routes — cluster clients bootstrap the shard map from any member).
+type request struct {
+	// Path is the compound name, one component per element.
+	Path []string
+	// Paths, when non-nil, is a batch of compound names.
+	Paths [][]string
+	// Routes requests the server's routing table.
+	Routes bool
+}
+
+// result is one resolution outcome inside a batched response.
+type result struct {
+	// ID and Kind identify the resolved entity (0 on failure).
+	ID   uint64
+	Kind uint8
+	// Err carries the failure message, empty on success.
+	Err string
+}
+
+// response is the server's answer.
+type response struct {
+	// ID and Kind identify the resolved entity (0 on failure).
+	ID   uint64
+	Kind uint8
+	// Rev is the server's binding revision at answer time; coherent client
+	// caches purge stale entries when it advances. For a batch it covers
+	// every element.
+	Rev uint64
+	// Err carries the failure message, empty on success.
+	Err string
+	// Results answers a batched request, in request order.
+	Results []result
+	// Routes answers a routing fetch.
+	Routes *RouteInfo
+}
+
+// RouteInfo describes a sharded deployment of one logical naming graph:
+// which shard serves each first-component prefix, and where every shard
+// listens. Servers of a cluster all carry the same RouteInfo, so a client
+// can bootstrap from any one member.
+type RouteInfo struct {
+	// Prefixes maps a name's first component to the index of the shard
+	// serving that subtree.
+	Prefixes map[string]int
+	// Default is the shard for names whose first component has no entry
+	// (including the root shard of the cluster).
+	Default int
+	// Addrs lists the shards' primary dial addresses, indexed by shard.
+	Addrs []string
+	// Replicas, when non-nil, lists every replica address per shard
+	// (Replicas[i][0] == Addrs[i]). All replicas of a shard serve replicas
+	// of the same subtree, so any of them can answer for the shard — the
+	// weak-coherence contract of §3, applied to the servers themselves.
+	Replicas [][]string
+}
+
+// wireTypes enumerates every type that crosses the wire, keyed by a
+// stable name. New wire types must be added here: registration below and
+// the round-trip test in wire_test.go both iterate this table.
+var wireTypes = map[string]any{
+	"request":   request{},
+	"result":    result{},
+	"response":  response{},
+	"RouteInfo": RouteInfo{},
+}
+
+func init() {
+	// Concrete struct types do not strictly need registration (only
+	// interface-valued fields do), but registering pins the wire names so
+	// a future rename or interface-typed field cannot silently change the
+	// protocol.
+	for _, v := range wireTypes {
+		gob.Register(v)
+	}
+}

@@ -95,7 +95,7 @@ func Save(w *core.World, out io.Writer) (opaque int, err error) {
 func Load(in io.Reader) (*core.World, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(in).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("decode snapshot: %w: %v", ErrBadSnapshot, err)
+		return nil, fmt.Errorf("decode snapshot: %w: %w", ErrBadSnapshot, err)
 	}
 	w := core.NewWorld()
 

@@ -192,6 +192,12 @@ func TestLoadGarbage(t *testing.T) {
 	if !errors.Is(err, ErrBadSnapshot) {
 		t.Fatalf("err = %v", err)
 	}
+	// The decoder's own error is wrapped too (%w, not %v): the chain
+	// forks below the sentinel instead of ending at it.
+	u, ok := err.(interface{ Unwrap() []error })
+	if !ok || len(u.Unwrap()) != 2 {
+		t.Fatalf("want two wrapped errors (sentinel and cause) in %v", err)
+	}
 }
 
 func TestWatchedContextSavedAsBindings(t *testing.T) {

@@ -142,21 +142,31 @@ type Proc struct {
 func (p *Proc) Process() *machine.Process { return p.process }
 
 // client returns (dialing if needed) the connection to a machine's server.
+// The dial happens outside p.mu; concurrent callers may race to connect,
+// and the loser closes its connection and adopts the winner's.
 func (p *Proc) client(machineName string) (*nameserver.Client, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if cl, ok := p.clients[machineName]; ok {
+	cl, ok := p.clients[machineName]
+	p.mu.Unlock()
+	if ok {
 		return cl, nil
 	}
 	addr, err := p.cluster.Addr(machineName)
 	if err != nil {
 		return nil, err
 	}
-	cl, err := nameserver.Dial("tcp", addr, p.opts...)
+	cl, err = nameserver.Dial("tcp", addr, p.opts...)
 	if err != nil {
 		return nil, fmt.Errorf("dial %q: %w", machineName, err)
 	}
+	p.mu.Lock()
+	if existing, ok := p.clients[machineName]; ok {
+		p.mu.Unlock()
+		_ = cl.Close()
+		return existing, nil
+	}
 	p.clients[machineName] = cl
+	p.mu.Unlock()
 	return cl, nil
 }
 

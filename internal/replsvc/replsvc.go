@@ -206,7 +206,7 @@ func (p *Pool) Resolve(path core.Path) (core.Entity, error) {
 		}
 		return e, nil
 	}
-	return core.Undefined, fmt.Errorf("%w: %v", ErrAllReplicas, lastErr)
+	return core.Undefined, fmt.Errorf("%w: %w", ErrAllReplicas, lastErr)
 }
 
 func (p *Pool) clientFor(i int) (*nameserver.Client, error) {

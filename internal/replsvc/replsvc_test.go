@@ -2,6 +2,7 @@ package replsvc
 
 import (
 	"errors"
+	"io"
 	"testing"
 
 	"namecoherence/internal/core"
@@ -136,8 +137,15 @@ func TestAllReplicasDown(t *testing.T) {
 	if err := rs.StopReplica(1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.Resolve(p); !errors.Is(err, ErrAllReplicas) {
+	_, err := pool.Resolve(p)
+	if !errors.Is(err, ErrAllReplicas) {
 		t.Fatalf("err = %v, want ErrAllReplicas", err)
+	}
+	// The last replica's own failure is wrapped too (%w, not %v), so a
+	// caller can diagnose why the replicas were unreachable — here the
+	// stopped server closed the connection mid-stream.
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("underlying connection error not in chain: %v", err)
 	}
 }
 
