@@ -9,7 +9,11 @@
 //	go vet -vettool=$PWD/bin/namingvet ./...
 //
 // Each analyzer guards one invariant the cluster's correctness rests on;
-// see DESIGN.md §"Static analysis & invariants".
+// see DESIGN.md §"Static analysis & invariants". The suite is
+// interprocedural: per-function summaries flow between packages as vet
+// facts, so a deadline set in internal/cluster satisfies I/O performed in
+// internal/nameserver, and a name that never passed a canonicalizer is
+// caught no matter how many calls separate it from the wire.
 package main
 
 import (
@@ -18,15 +22,24 @@ import (
 	"namecoherence/internal/analysis/conndeadline"
 	"namecoherence/internal/analysis/detrand"
 	"namecoherence/internal/analysis/errwrap"
+	"namecoherence/internal/analysis/goroleak"
 	"namecoherence/internal/analysis/lockheld"
+	"namecoherence/internal/analysis/registrycheck"
+	"namecoherence/internal/analysis/wirecanon"
 )
 
+// suite is the full analyzer set; shared with the benchmark.
+var suite = []*analysis.Analyzer{
+	lockheld.Analyzer,
+	conndeadline.Analyzer,
+	errwrap.Analyzer,
+	bindingsleak.Analyzer,
+	detrand.Analyzer,
+	wirecanon.Analyzer,
+	goroleak.Analyzer,
+	registrycheck.Analyzer,
+}
+
 func main() {
-	analysis.Main("namingvet", []*analysis.Analyzer{
-		lockheld.Analyzer,
-		conndeadline.Analyzer,
-		errwrap.Analyzer,
-		bindingsleak.Analyzer,
-		detrand.Analyzer,
-	})
+	analysis.Main("namingvet", suite)
 }

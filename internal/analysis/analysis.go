@@ -33,6 +33,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts holds this package's interprocedural summaries (merged with
+	// the summaries imported from its dependencies). Computed once per
+	// package by the driver and shared by every analyzer.
+	Facts *PackageFacts
+
 	// Report delivers one diagnostic. Diagnostics on _test.go files and
 	// diagnostics suppressed by a namingvet:ignore directive are dropped
 	// by the driver.
@@ -133,11 +138,14 @@ func (idx *ignoreIndex) ignored(analyzer string, posn token.Position) bool {
 }
 
 // RunAnalyzers runs every analyzer over one type-checked package and
-// returns the surviving findings. Findings on _test.go files are dropped:
-// tests legitimately compare sentinel identity, hold locks over pipe I/O,
-// and read wall clocks, and the invariants guard production paths.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+// returns the surviving findings plus the package's merged summaries
+// (imported ∪ own) for feeding into dependent packages. Findings on
+// _test.go files are dropped: tests legitimately compare sentinel
+// identity, hold locks over pipe I/O, and read wall clocks, and the
+// invariants guard production paths.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, imported Summaries) ([]Finding, Summaries, error) {
 	idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	facts := ComputeFacts(pkg, imported)
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -146,6 +154,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 		}
 		pass.Report = func(d Diagnostic) {
 			posn := pkg.Fset.Position(d.Pos)
@@ -158,10 +167,10 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			findings = append(findings, Finding{Analyzer: a.Name, Posn: posn, Message: d.Message})
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}
-	return findings, nil
+	return findings, facts.All, nil
 }
 
 // WalkWithStack walks every file, calling fn with each node and the stack

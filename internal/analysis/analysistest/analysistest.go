@@ -5,6 +5,11 @@
 // <analyzer>/testdata/src/<pkg> inside the module, so the go toolchain can
 // compile their dependencies and hand us real export data — the analyzers
 // see genuine net.Conn, sync.Mutex, and gob types, not mocks.
+//
+// Fixtures may nest helper packages under testdata/src/<pkg>/…: the whole
+// tree is loaded in dependency order with interprocedural facts flowing
+// between the packages, so cross-package analyzer behavior is testable.
+// Want comments are honored in every package of the tree.
 package analysistest
 
 import (
@@ -26,32 +31,43 @@ type expectation struct {
 
 var wantRE = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
 
-// Run loads testdata/src/<pkg> relative to the test's working directory,
-// runs the analyzer, and reports mismatches between its diagnostics and
-// the package's // want comments. Every want must be matched by a
-// diagnostic on its line, and every diagnostic must match a want.
+// Run loads testdata/src/<pkg> (and any helper packages nested beneath it)
+// relative to the test's working directory, runs the analyzer over each
+// package in dependency order, and reports mismatches between its
+// diagnostics and the tree's // want comments. Every want must be matched
+// by a diagnostic on its line, and every diagnostic must match a want; on
+// mismatch the failure is rendered as a unified diff of expected versus
+// actual diagnostics with the offending source lines inlined.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
 	dir, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := analysis.Load(dir, []string{"."})
+	pkgs, err := analysis.Load(dir, []string{"./..."})
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("load %s: got %d packages, want 1", dir, len(pkgs))
-	}
-	p := pkgs[0]
-
-	wants := collectWants(t, p)
-	findings, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("run %s: %v", a.Name, err)
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", dir)
 	}
 
-	for _, f := range findings {
+	var wants []*expectation
+	var findings []analysis.Finding
+	acc := analysis.Summaries{}
+	for _, p := range pkgs {
+		wants = append(wants, collectWants(t, p)...)
+		fs, merged, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{a}, acc)
+		if err != nil {
+			t.Fatalf("run %s: %v", a.Name, err)
+		}
+		acc = merged
+		findings = append(findings, fs...)
+	}
+
+	var unexpected []analysis.Finding
+	for i := range findings {
+		f := &findings[i]
 		matched := false
 		for _, w := range wants {
 			if w.file == f.Posn.Filename && w.line == f.Posn.Line && w.re.MatchString(f.Message) {
@@ -60,13 +76,18 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected diagnostic: %s", f)
+			unexpected = append(unexpected, *f)
 		}
 	}
+	var unmatched []*expectation
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+			unmatched = append(unmatched, w)
 		}
+	}
+	if len(unexpected) > 0 || len(unmatched) > 0 {
+		t.Errorf("%s: diagnostics differ from // want comments:\n%s",
+			a.Name, diagnosticsDiff(wants, findings, unexpected, unmatched))
 	}
 }
 

@@ -1,0 +1,171 @@
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"namecoherence/internal/analysis"
+)
+
+// diagnosticsDiff renders a fixture mismatch as a unified diff between the
+// expected diagnostic listing (matched findings plus unmatched want
+// patterns) and the actual one (every finding), each annotated with the
+// source line it points at. A reviewer sees, in one block, which
+// diagnostics moved, changed message, appeared, or vanished — instead of
+// reconciling two flat error lists by hand.
+func diagnosticsDiff(wants []*expectation, findings []analysis.Finding,
+	unexpected []analysis.Finding, unmatched []*expectation) string {
+
+	matched := make(map[string]bool, len(unexpected))
+	for _, f := range unexpected {
+		matched[renderFinding(f)] = false
+	}
+
+	var expected, actual []string
+	for _, f := range findings {
+		line := renderFinding(f)
+		actual = append(actual, line)
+		if _, isUnexpected := matched[line]; !isUnexpected {
+			expected = append(expected, line)
+		}
+	}
+	for _, w := range unmatched {
+		expected = append(expected,
+			fmt.Sprintf("%s:%d: [missing] diagnostic matching /%s/", filepath.Base(w.file), w.line, w.re))
+	}
+	sortDiagLines(expected)
+	sortDiagLines(actual)
+
+	src := newSourceCache()
+	var b strings.Builder
+	b.WriteString("--- expected (want comments)\n+++ actual (reported diagnostics)\n")
+	for _, d := range unifiedDiff(expected, actual) {
+		b.WriteString(d)
+		b.WriteByte('\n')
+		if strings.HasPrefix(d, "-") || strings.HasPrefix(d, "+") {
+			if ctx := src.context(wants, findings, d[1:]); ctx != "" {
+				fmt.Fprintf(&b, "      > %s\n", ctx)
+			}
+		}
+	}
+	return b.String()
+}
+
+func renderFinding(f analysis.Finding) string {
+	return fmt.Sprintf("%s:%d: %s", filepath.Base(f.Posn.Filename), f.Posn.Line, f.Message)
+}
+
+// sortDiagLines orders a listing by file, then numeric line, then text, so
+// both sides of the diff share a stable order and matched entries align.
+func sortDiagLines(lines []string) {
+	sort.Slice(lines, func(i, j int) bool {
+		fi, li, ri := splitDiagLine(lines[i])
+		fj, lj, rj := splitDiagLine(lines[j])
+		if fi != fj {
+			return fi < fj
+		}
+		if li != lj {
+			return li < lj
+		}
+		return ri < rj
+	})
+}
+
+func splitDiagLine(s string) (file string, line int, rest string) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) < 3 {
+		return s, 0, ""
+	}
+	fmt.Sscanf(parts[1], "%d", &line)
+	return parts[0], line, parts[2]
+}
+
+// unifiedDiff computes a line diff (longest common subsequence) and renders
+// it with " ", "-", "+" prefixes. Fixture listings are tiny, so the
+// quadratic table and full context are fine.
+func unifiedDiff(a, b []string) []string {
+	lcs := make([][]int, len(a)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(b)+1)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, "  "+a[i])
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			out = append(out, "- "+a[i])
+			i++
+		default:
+			out = append(out, "+ "+b[j])
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, "- "+a[i])
+	}
+	for ; j < len(b); j++ {
+		out = append(out, "+ "+b[j])
+	}
+	return out
+}
+
+// sourceCache resolves "base.go:NN: …" diff lines back to the source line
+// they point at, using the full paths recorded in the wants and findings.
+type sourceCache struct {
+	files map[string][]string // full path -> lines
+	paths map[string]string   // base name -> full path
+}
+
+func newSourceCache() *sourceCache {
+	return &sourceCache{files: make(map[string][]string), paths: make(map[string]string)}
+}
+
+func (c *sourceCache) context(wants []*expectation, findings []analysis.Finding, diagLine string) string {
+	base, line, _ := splitDiagLine(strings.TrimSpace(diagLine))
+	if line == 0 {
+		return ""
+	}
+	if _, ok := c.paths[base]; !ok {
+		for _, w := range wants {
+			c.paths[filepath.Base(w.file)] = w.file
+		}
+		for _, f := range findings {
+			c.paths[filepath.Base(f.Posn.Filename)] = f.Posn.Filename
+		}
+	}
+	full, ok := c.paths[base]
+	if !ok {
+		return ""
+	}
+	lines, ok := c.files[full]
+	if !ok {
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return ""
+		}
+		lines = strings.Split(string(data), "\n")
+		c.files[full] = lines
+	}
+	if line < 1 || line > len(lines) {
+		return ""
+	}
+	return fmt.Sprintf("%s:%d: %s", base, line, strings.TrimSpace(lines[line-1]))
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallSite is one static call made from a declared function's body. Calls
+// through function values, interface methods without a static callee, and
+// built-ins are not recorded — the summary layer treats them as opaque.
+type CallSite struct {
+	// Callee is the statically resolved target.
+	Callee *types.Func
+	// Pos is the call's position (used for lexical ordering against
+	// deadline events and for call-site diagnostics).
+	Pos token.Pos
+}
+
+// CallGraph is the static call structure of one package: every declared
+// function, in declaration order, with the calls its body makes. Nested
+// function literals are folded into the enclosing declaration — for the
+// summary properties (reaches conn I/O, sets a deadline, canonicalizes) a
+// closure's work is the declaring function's work.
+type CallGraph struct {
+	// Order lists the package's declared functions in source order.
+	Order []*types.Func
+	// Decls maps each declared function to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls maps each declared function to its static call sites, in
+	// lexical order.
+	Calls map[*types.Func][]CallSite
+}
+
+// BuildCallGraph computes the package's call graph. Same-package edges
+// carry the callee's declaration; cross-package callees are recorded by
+// their types.Func only (their properties come from imported facts).
+func BuildCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Calls: make(map[*types.Func][]CallSite),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			g.Order = append(g.Order, obj)
+			g.Decls[obj] = fn
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := CalleeFunc(pkg.Info, call); callee != nil {
+					g.Calls[obj] = append(g.Calls[obj], CallSite{Callee: callee, Pos: call.Pos()})
+				}
+				return true
+			})
+		}
+	}
+	return g
+}

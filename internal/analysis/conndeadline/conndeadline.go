@@ -1,17 +1,29 @@
 // Package conndeadline enforces the transport-deadline invariant of the
 // fault-tolerant cluster (DESIGN §3a): inside internal/cluster and
 // internal/nameserver, every net.Conn read/write — including the gob
-// encode/decode calls that carry the wire protocol — must be lexically
-// preceded, within the same function, by a SetDeadline/SetReadDeadline/
-// SetWriteDeadline call, and raw net.Dial is forbidden in favor of
-// net.DialTimeout (or DialContext). An unbounded round-trip against a hung
-// replica turns one wedged server into a wedged client; the failover and
-// circuit-breaker logic only runs when I/O fails in bounded time.
+// encode/decode calls that carry the wire protocol — must be preceded by a
+// SetDeadline/SetReadDeadline/SetWriteDeadline call, and raw net.Dial is
+// forbidden in favor of net.DialTimeout (or DialContext). An unbounded
+// round-trip against a hung replica turns one wedged server into a wedged
+// client; the failover and circuit-breaker logic only runs when I/O fails
+// in bounded time.
+//
+// v2 is call-graph aware, using the interprocedural facts layer:
+//
+//   - A deadline set in a caller satisfies I/O in a callee: an unexported
+//     function whose every same-package call site is deadline-guarded (and
+//     which is never used as a function value) is exonerated — its own
+//     unguarded I/O is the callers' obligation, and they have met it.
+//   - The obligation flows the other way too: calling a function whose
+//     exported UnguardedIO fact is set, without a preceding deadline, is
+//     reported at the call site — across package boundaries, via facts.
+//   - Idle-loop reads are exempt: a decode/read in a `for {}` loop of a
+//     method whose owner's Close closes the conn (the server's idle
+//     accept-and-wait pattern) blocks on purpose; Close unhangs it.
 package conndeadline
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 
@@ -26,7 +38,7 @@ var Scope = []string{"cluster", "nameserver"}
 // Analyzer is the conndeadline analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "conndeadline",
-	Doc:  "requires a SetDeadline before net.Conn/gob wire I/O and forbids raw net.Dial in transport packages",
+	Doc:  "requires a SetDeadline before net.Conn/gob wire I/O (caller deadlines satisfy callees) and forbids raw net.Dial in transport packages",
 	Run:  run,
 }
 
@@ -34,14 +46,37 @@ func run(pass *analysis.Pass) (any, error) {
 	if !inScope(pass.Pkg.Path()) {
 		return nil, nil
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+	for _, ff := range pass.Facts.Own {
+		for _, ev := range ff.Events {
+			if ev.Callee != nil {
+				pass.Reportf(ev.Pos,
+					"call to %s, which performs wire I/O without its own deadline, must follow a SetDeadline in %s",
+					calleeLabel(pass, ev.Callee), ff.Decl.Name.Name)
 				continue
 			}
-			checkFunc(pass, fn)
+			pass.Reportf(ev.Pos,
+				"%s without a preceding SetDeadline in %s; unbounded wire I/O defeats failover",
+				ev.Desc, ff.Decl.Name.Name)
 		}
+	}
+	// Raw net.Dial stays a structural check: it needs no dataflow.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Name() != "Dial" {
+				return true
+			}
+			recv := callee.Type().(*types.Signature).Recv()
+			if recv == nil && callee.Pkg() != nil && callee.Pkg().Path() == "net" {
+				pass.Reportf(call.Pos(),
+					"raw net.Dial is unbounded; use net.DialTimeout so a dead replica costs one timeout")
+			}
+			return true
+		})
 	}
 	return nil, nil
 }
@@ -55,62 +90,11 @@ func inScope(path string) bool {
 	return false
 }
 
-// checkFunc verifies one function: every wire I/O call must come after
-// some deadline call in the same function body.
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	var deadlines []token.Pos
-	type ioCall struct {
-		pos  token.Pos
-		what string
+// calleeLabel renders a callee for a diagnostic: pkg-qualified for
+// cross-package targets, bare for local ones.
+func calleeLabel(pass *analysis.Pass, fn *types.Func) string {
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + fn.Name()
 	}
-	var ios []ioCall
-
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		callee := analysis.CalleeFunc(pass.TypesInfo, call)
-		if callee == nil {
-			return true
-		}
-		recv := callee.Type().(*types.Signature).Recv()
-		switch callee.Name() {
-		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
-			deadlines = append(deadlines, call.Pos())
-		case "Dial":
-			if callee.Pkg() != nil && callee.Pkg().Path() == "net" && recv == nil {
-				pass.Reportf(call.Pos(),
-					"raw net.Dial is unbounded; use net.DialTimeout so a dead replica costs one timeout")
-			}
-		case "Encode":
-			if recv != nil && analysis.IsNamedType(recv.Type(), "encoding/gob", "Encoder") {
-				ios = append(ios, ioCall{call.Pos(), "gob encode"})
-			}
-		case "Decode":
-			if recv != nil && analysis.IsNamedType(recv.Type(), "encoding/gob", "Decoder") {
-				ios = append(ios, ioCall{call.Pos(), "gob decode"})
-			}
-		case "Read", "Write":
-			if recv != nil && analysis.HasMethods(recv.Type(), "Read", "Write", "SetDeadline") {
-				ios = append(ios, ioCall{call.Pos(), "conn " + strings.ToLower(callee.Name())})
-			}
-		}
-		return true
-	})
-
-	for _, io := range ios {
-		guarded := false
-		for _, d := range deadlines {
-			if d < io.pos {
-				guarded = true
-				break
-			}
-		}
-		if !guarded {
-			pass.Reportf(io.pos,
-				"%s without a preceding SetDeadline in %s; unbounded wire I/O defeats failover",
-				io.what, fn.Name.Name)
-		}
-	}
+	return fn.Name()
 }

@@ -1,0 +1,136 @@
+// Package clusterflow exercises conndeadline's call-graph rules: caller
+// deadlines satisfy callee I/O (exoneration), unguarded calls to
+// UnguardedIO functions are reported at the call site — including across
+// packages — and idle-loop reads under a conn-closing Close are exempt.
+// (The directory name contains "cluster" so the testdata package path
+// lands in the analyzer's scope.)
+package clusterflow
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+
+	"namecoherence/internal/analysis/conndeadline/testdata/src/clusterflow/inner"
+)
+
+type client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// roundTrip is exonerated: unexported, never used as a value, and both of
+// its call sites set a deadline first. Its I/O is the callers' obligation,
+// and they meet it.
+func (c *client) roundTrip(req, resp any) error {
+	if err := c.enc.Encode(req); err != nil {
+		return err
+	}
+	return c.dec.Decode(resp)
+}
+
+func (c *client) caller1(req, resp any) error {
+	_ = c.conn.SetDeadline(time.Now().Add(time.Second))
+	return c.roundTrip(req, resp)
+}
+
+func (c *client) caller2(req, resp any) error {
+	if err := c.conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	return c.roundTrip(req, resp)
+}
+
+// leaky has one unguarded call site, so exoneration fails: the helper is
+// reported at its I/O and the bad caller at its call.
+func (c *client) leaky(resp any) error {
+	return c.dec.Decode(resp) // want `gob decode without a preceding SetDeadline in leaky`
+}
+
+func (c *client) badCaller(resp any) error {
+	return c.leaky(resp) // want `call to leaky, which performs wire I/O without its own deadline, must follow a SetDeadline in badCaller`
+}
+
+func (c *client) okCaller(resp any) error {
+	_ = c.conn.SetReadDeadline(time.Now().Add(time.Second))
+	return c.leaky(resp)
+}
+
+// Exported functions are never exonerated — out-of-package callers are
+// invisible here — even when every local call site is guarded.
+func (c *client) Exported(resp any) error {
+	return c.dec.Decode(resp) // want `gob decode without a preceding SetDeadline in Exported`
+}
+
+func (c *client) callsExported(resp any) error {
+	_ = c.conn.SetDeadline(time.Now().Add(time.Second))
+	return c.Exported(resp)
+}
+
+// asValue is stored as a function value, so call-site accounting cannot
+// see every invocation: no exoneration.
+func (c *client) asValue(resp any) error {
+	return c.dec.Decode(resp) // want `gob decode without a preceding SetDeadline in asValue`
+}
+
+func (c *client) storesValue(resp any) error {
+	_ = c.conn.SetDeadline(time.Now().Add(time.Second))
+	f := c.asValue
+	return f(resp)
+}
+
+// server's idle read is exempt: it blocks until the peer speaks, and
+// server.Close closes the conn out from under it.
+type server struct {
+	conn net.Conn
+	dec  *gob.Decoder
+}
+
+func (s *server) Close() error {
+	return s.conn.Close()
+}
+
+func (s *server) serveLoop() error {
+	for {
+		var req int
+		if err := s.dec.Decode(&req); err != nil {
+			return err
+		}
+	}
+}
+
+// leakyServer looks like the idle pattern, but its Close closes no conn,
+// so nothing can ever unhang the read: the exemption does not apply.
+type leakyServer struct {
+	dec  *gob.Decoder
+	done bool
+}
+
+func (s *leakyServer) Close() error {
+	s.done = true
+	return nil
+}
+
+func (s *leakyServer) loop() error {
+	for {
+		var req int
+		if err := s.dec.Decode(&req); err != nil { // want `gob decode without a preceding SetDeadline in loop`
+			return err
+		}
+	}
+}
+
+// badCross calls the imported helper unguarded: the UnguardedIO fact
+// crossed the package boundary to get this reported.
+func badCross(conn net.Conn) error {
+	var n int
+	return inner.RoundTrip(conn, 1, &n) // want `call to inner\.RoundTrip, which performs wire I/O without its own deadline, must follow a SetDeadline in badCross`
+}
+
+// okCross guards the same call.
+func okCross(conn net.Conn) error {
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	var n int
+	return inner.RoundTrip(conn, 1, &n)
+}

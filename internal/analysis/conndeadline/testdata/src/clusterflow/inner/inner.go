@@ -1,0 +1,19 @@
+// Package inner is the cross-package half of the clusterflow fixture: it
+// exports a wire helper with no deadline of its own, whose UnguardedIO
+// fact must reach the importing package.
+package inner
+
+import (
+	"encoding/gob"
+	"net"
+)
+
+// RoundTrip performs wire I/O without setting a deadline. Being exported,
+// it is never exonerated — it is reported here, and every unguarded call
+// to it is reported at the call site via the exported fact.
+func RoundTrip(conn net.Conn, req, resp any) error {
+	if err := gob.NewEncoder(conn).Encode(req); err != nil { // want `gob encode without a preceding SetDeadline in RoundTrip`
+		return err
+	}
+	return gob.NewDecoder(conn).Decode(resp) // want `gob decode without a preceding SetDeadline in RoundTrip`
+}

@@ -53,3 +53,39 @@ func okNonError(name string, n int) error {
 func okErrorMethod(err error) string {
 	return fmt.Sprintf("%v", err) // Sprintf displays; only Errorf wraps
 }
+
+// Multi-verb formats: the verb-to-argument mapping must stay aligned
+// through literal percents, star widths, and mixed argument types.
+
+func badMultiVerbFirst(errA, errB error) error {
+	return fmt.Errorf("%v then %w", errA, errB) // want `error formatted with %v; use %w`
+}
+
+func badStarWidth(err error) error {
+	// The * consumes the width argument (7); the %s still lands on err.
+	return fmt.Errorf("pad %*d then %s", 7, 42, err) // want `error formatted with %s; use %w`
+}
+
+func badDoublePercent(err error) error {
+	// %% consumes no argument, so the %s maps to err.
+	return fmt.Errorf("100%% done: %s", err) // want `error formatted with %s; use %w`
+}
+
+func badManyArgs(err error) error {
+	return fmt.Errorf("shard %d of %d at %q: %v", 1, 3, "addr", err) // want `error formatted with %v; use %w`
+}
+
+func okIndexedSkipped(err error) error {
+	// Explicit argument indexes break positional mapping; the call is
+	// out of scope rather than mis-reported.
+	return fmt.Errorf("%[1]s", err)
+}
+
+func okMultiVerbMix(err error) error {
+	return fmt.Errorf("try %d of %d: %+v gave %w", 1, 3, struct{ N int }{1}, err)
+}
+
+func okStarWidthNonError(err error) error {
+	_ = err
+	return fmt.Errorf("pad %*d", 7, 42)
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "cluster")
+}

@@ -1,0 +1,146 @@
+// Package cluster exercises goroleak: every go statement in a serving
+// package needs a join — a WaitGroup whose Add precedes the spawn, a done
+// channel somebody consumes, or a stop-signal receive. (The directory is
+// named cluster so the testdata package path lands in the analyzer's
+// scope.)
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// owner is a long-lived serving type: it has a Close, so its goroutines
+// must be joinable before Close returns.
+type owner struct {
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	work  chan int
+	count int
+}
+
+func (o *owner) Close() error {
+	close(o.stop)
+	o.wg.Wait()
+	return nil
+}
+
+// okWaitGroup registers with the WaitGroup before spawning.
+func (o *owner) okWaitGroup() {
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		o.count++
+	}()
+}
+
+// badNoAdd signals a WaitGroup nothing ever Added to: Wait can return
+// before the goroutine even starts.
+func (o *owner) badNoAdd() {
+	go func() { // want `goroutine calls o\.wg\.Done, but no o\.wg\.Add precedes the go statement in badNoAdd`
+		defer o.wg.Done()
+		o.count++
+	}()
+}
+
+// badAddAfter orders the Add after the spawn, which is the same race.
+func (o *owner) badAddAfter() {
+	go func() { // want `goroutine calls o\.wg\.Done, but no o\.wg\.Add precedes the go statement in badAddAfter`
+		defer o.wg.Done()
+		o.count++
+	}()
+	o.wg.Add(1)
+}
+
+// okDone closes a done channel the spawner blocks on.
+func (o *owner) okDone() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		o.count++
+	}()
+	<-done
+}
+
+// okDoneStored hands the done channel to another party instead of
+// receiving inline; that party can join.
+func (o *owner) okDoneStored(sink chan<- chan struct{}) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		o.count++
+	}()
+	sink <- done
+}
+
+// badDoneUnused closes a channel nobody outside the goroutine ever sees.
+func (o *owner) badDoneUnused() {
+	done := make(chan struct{})
+	go func() { // want `goroutine closes done, but done is never received or stored outside the goroutine; nothing can join it`
+		defer close(done)
+		o.count++
+	}()
+}
+
+// okStop blocks on the owner's stop channel: Close's close(o.stop)
+// releases it.
+func (o *owner) okStop() {
+	go func() {
+		<-o.stop
+		o.count++
+	}()
+}
+
+// okStopRange drains a work channel until a stop-named channel closes.
+func (o *owner) okStopRange(stopc chan struct{}) {
+	go func() {
+		for range stopc {
+		}
+	}()
+}
+
+// okCtx blocks on a context cancellation.
+func (o *owner) okCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		o.count++
+	}()
+}
+
+// badSendOwner joins only through a send, but owner has a Close method
+// that cannot wait on a send.
+func (o *owner) badSendOwner() {
+	go func() { // want `goroutine joins only through a send on o\.work; badSendOwner's receiver has a Close method, so join it with a WaitGroup that Close waits on`
+		o.work <- 1
+	}()
+}
+
+// badNamed spawns a named function directly; there is nothing to join.
+func (o *owner) badNamed() {
+	go tick(o) // want `go tick spawns a named function with no join; wrap it in a func literal that signals a WaitGroup or closes a done channel`
+}
+
+// badNothing has no join discipline at all.
+func (o *owner) badNothing() {
+	go func() { // want `goroutine in badNothing has no join: signal a WaitGroup whose Add precedes the spawn, close a consumed done channel, or block on a stop signal`
+		o.count++
+	}()
+}
+
+func tick(o *owner) { o.count++ }
+
+// scatter is request-scoped fan-in: no Close on the spawner (a free
+// function), so a channel send is an acceptable join.
+func scatter(vals []int) int {
+	ch := make(chan int, len(vals))
+	for _, v := range vals {
+		go func() {
+			ch <- v * 2
+		}()
+	}
+	total := 0
+	for range vals {
+		total += <-ch
+	}
+	return total
+}

@@ -24,6 +24,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// FactsOnly marks a module dependency that was loaded to compute
+	// interprocedural summaries but was not named by the load patterns:
+	// drivers compute its facts and skip its diagnostics.
+	FactsOnly bool
 }
 
 // listedPackage is the slice of `go list -json` output the loader needs.
@@ -39,8 +44,12 @@ type listedPackage struct {
 }
 
 // Load resolves patterns with `go list -export -deps` run in dir and
-// type-checks every matched (non-dependency, non-standard) package against
-// the gc export data of its dependencies. The go toolchain does the
+// type-checks every matched non-standard package against the gc export
+// data of its dependencies. Non-standard dependency packages that the
+// patterns did not name are returned too, marked FactsOnly, so drivers can
+// accumulate their interprocedural summaries. Packages come back in
+// dependency order (-deps lists a package only after its imports), which
+// is exactly the order facts accumulation needs. The go toolchain does the
 // compilation; no network or module download is involved for a
 // self-contained module.
 func Load(dir string, patterns []string) ([]*Package, error) {
@@ -68,7 +77,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
+		if !p.Standard {
 			q := p
 			targets = append(targets, &q)
 		}
@@ -95,6 +104,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = t.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

@@ -8,7 +8,10 @@
 // The check is intraprocedural for lock state but interprocedural for I/O:
 // a same-package function that (transitively) performs blocking I/O taints
 // its callers, so `mu.Lock(); c.roundTrip(req)` is caught even though the
-// conn I/O lives inside roundTrip.
+// conn I/O lives inside roundTrip. Cross-package calls are checked the
+// same way through the facts layer: a module function whose exported
+// Blocks summary is set (it reaches conn I/O or time.Sleep) taints its
+// callers in every dependent package.
 package lockheld
 
 import (
@@ -260,9 +263,15 @@ func (s *scanner) expr(e ast.Expr, held []heldLock) {
 				s.pass.Reportf(node.Pos(), "%s while %s is held", what, held[len(held)-1].name)
 				return true
 			}
-			if fn := analysis.CalleeFunc(s.pass.TypesInfo, node); fn != nil && s.io[fn] {
-				s.pass.Reportf(node.Pos(), "call to %s, which performs blocking I/O, while %s is held",
-					fn.Name(), held[len(held)-1].name)
+			if fn := analysis.CalleeFunc(s.pass.TypesInfo, node); fn != nil {
+				if s.io[fn] {
+					s.pass.Reportf(node.Pos(), "call to %s, which performs blocking I/O, while %s is held",
+						fn.Name(), held[len(held)-1].name)
+				} else if fn.Pkg() != nil && fn.Pkg() != s.pass.Pkg &&
+					s.pass.Facts.All[analysis.FuncKey(fn)].Blocks {
+					s.pass.Reportf(node.Pos(), "call to %s.%s, which performs blocking I/O, while %s is held",
+						fn.Pkg().Name(), fn.Name(), held[len(held)-1].name)
+				}
 			}
 		}
 		return true

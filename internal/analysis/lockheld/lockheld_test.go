@@ -10,3 +10,15 @@ import (
 func TestLockHeld(t *testing.T) {
 	analysistest.Run(t, lockheld.Analyzer, "a")
 }
+
+// TestLockHeldDepth pins the transitive closure: taint flows through a
+// five-deep call chain and converges on mutual recursion.
+func TestLockHeldDepth(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "depth")
+}
+
+// TestLockHeldCrossPackage pins the facts-based rule: imported functions
+// with a Blocks fact taint lock-holding call sites in dependent packages.
+func TestLockHeldCrossPackage(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "xpkg")
+}

@@ -1,0 +1,37 @@
+// Package xpkg exercises lockheld's cross-package rule: a call to an
+// imported function whose Blocks fact is set, made while a mutex is held,
+// is reported at the call site.
+package xpkg
+
+import (
+	"sync"
+
+	"namecoherence/internal/analysis/lockheld/testdata/src/xpkg/inner"
+)
+
+type guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guard) bad() {
+	g.mu.Lock()
+	inner.Blocking() // want `call to inner\.Blocking, which performs blocking I/O, while g\.mu is held`
+	g.mu.Unlock()
+}
+
+func (g *guard) badTransitive() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	inner.Wrapper() // want `call to inner\.Wrapper, which performs blocking I/O, while g\.mu is held`
+}
+
+func (g *guard) okPure() {
+	g.mu.Lock()
+	g.n = inner.Pure()
+	g.mu.Unlock()
+}
+
+func (g *guard) okUnlocked() {
+	inner.Blocking()
+}

@@ -1,0 +1,307 @@
+// Package registrycheck keeps the gob wire registry exhaustive. The
+// nameserver's wire.go declares a wireTypes map naming every struct that
+// crosses the wire; gob silently accepts unregistered concrete types until
+// the first mixed-version peer decodes garbage, so the registry — not the
+// encoder — is the source of truth. The analyzer computes the closure of
+// package-local struct types reachable from gob Encode/Decode call
+// arguments through exported struct fields and demands it equal the
+// registry, in both directions. It also checks handler exhaustiveness:
+// every field of the request struct must be read somewhere in the package,
+// or a request kind exists that the server silently ignores.
+package registrycheck
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"namecoherence/internal/analysis"
+)
+
+// Scope limits the analyzer to packages that own a wire registry.
+var Scope = []string{"nameserver"}
+
+// RegistryVar is the name of the registry map the analyzer audits; the
+// check is silent in packages that do not declare it.
+const RegistryVar = "wireTypes"
+
+// RequestType is the struct whose fields the handler-exhaustiveness rule
+// covers.
+const RequestType = "request"
+
+// Analyzer is the registrycheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "registrycheck",
+	Doc:  "requires every gob-encoded wire type to appear in the wireTypes registry and every request field to be handled",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	registry, positions := registryEntries(pass)
+	if registry == nil {
+		return nil, nil
+	}
+
+	reachable := wireClosure(pass)
+
+	// Direction 1: every type that crosses the wire is registered.
+	for _, named := range sortedTypes(reachable) {
+		if !registry[named] {
+			pass.Reportf(reachable[named].Pos(),
+				"wire type %s reaches a gob encoder/decoder but is missing from the %s registry",
+				named.Obj().Name(), RegistryVar)
+		}
+	}
+	// Direction 2: every registered type actually crosses the wire.
+	for _, named := range sortedTypes(positions) {
+		if _, ok := reachable[named]; !ok {
+			pass.Reportf(positions[named].Pos(),
+				"%s entry %s never reaches a gob encoder/decoder; dead registry entries hide real gaps",
+				RegistryVar, named.Obj().Name())
+		}
+	}
+
+	checkRequestFields(pass)
+	return nil, nil
+}
+
+func inScope(path string) bool {
+	for _, s := range Scope {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// registryEntries reads the package-level RegistryVar composite literal,
+// returning the set of named types it registers and each entry's position.
+// nil means the package has no registry to audit.
+func registryEntries(pass *analysis.Pass) (map[*types.Named]bool, map[*types.Named]ast.Node) {
+	var lit *ast.CompositeLit
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != RegistryVar || i >= len(vs.Values) {
+						continue
+					}
+					if cl, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						lit = cl
+					}
+				}
+			}
+		}
+	}
+	if lit == nil {
+		return nil, nil
+	}
+	set := make(map[*types.Named]bool)
+	where := make(map[*types.Named]ast.Node)
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if named := localNamed(pass, pass.TypesInfo.Types[val].Type); named != nil {
+			set[named] = true
+			where[named] = val
+		}
+	}
+	return set, where
+}
+
+// wireClosure finds every package-local named struct type reachable from a
+// gob Encode/Decode argument through struct fields, mapped to the position
+// of the type's declaration (falling back to the call site for types whose
+// declaration is not in this package's files).
+func wireClosure(pass *analysis.Pass) map[*types.Named]ast.Node {
+	out := make(map[*types.Named]ast.Node)
+	var add func(t types.Type, at ast.Node)
+	add = func(t types.Type, at ast.Node) {
+		named := localNamed(pass, t)
+		if named == nil {
+			if t != nil {
+				switch u := t.(type) {
+				case *types.Pointer:
+					add(u.Elem(), at)
+				case *types.Slice:
+					add(u.Elem(), at)
+				case *types.Array:
+					add(u.Elem(), at)
+				case *types.Map:
+					add(u.Elem(), at)
+				}
+			}
+			return
+		}
+		if _, seen := out[named]; seen {
+			return
+		}
+		out[named] = declNode(pass, named, at)
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				add(st.Field(i).Type(), at)
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			recv := callee.Type().(*types.Signature).Recv()
+			if recv == nil {
+				return true
+			}
+			isEnc := callee.Name() == "Encode" && analysis.IsNamedType(recv.Type(), "encoding/gob", "Encoder")
+			isDec := callee.Name() == "Decode" && analysis.IsNamedType(recv.Type(), "encoding/gob", "Decoder")
+			if !isEnc && !isDec {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+				add(tv.Type, call)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// declNode finds the type's declaration spec in the package files, so the
+// diagnostic lands on `type request struct` rather than on some call site.
+func declNode(pass *analysis.Pass, named *types.Named, fallback ast.Node) ast.Node {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if ok && pass.TypesInfo.Defs[ts.Name] == named.Obj() {
+					return ts
+				}
+			}
+		}
+	}
+	return fallback
+}
+
+// checkRequestFields demands that every field of the request struct is
+// read (as an rvalue selector) somewhere in the package.
+func checkRequestFields(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	obj, ok := scope.Lookup(RequestType).(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	read := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if assign, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range assign.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						// A bare store is not handling; only the selector's
+						// base expression counts as read.
+						markSelRead(pass, read, sel.X)
+					} else {
+						// Indexed stores like req.Paths[k] = v do read the
+						// field (to index it), as do other compound targets.
+						markSelRead(pass, read, lhs)
+					}
+				}
+				for _, rhs := range assign.Rhs {
+					markSelRead(pass, read, rhs)
+				}
+				return false
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				markSelRead(pass, read, sel)
+				return false
+			}
+			return true
+		})
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !read[field] {
+			pass.Reportf(field.Pos(),
+				"%s field %s is never read in this package: a request kind no handler serves",
+				RequestType, field.Name())
+		}
+	}
+}
+
+// markSelRead records every field selection inside e as a read.
+func markSelRead(pass *analysis.Pass, read map[*types.Var]bool, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s := pass.TypesInfo.Selections[sel]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok {
+				read[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// sortedTypes orders a type-keyed map by type name so diagnostics come out
+// deterministically (detrand's own rule applies to us too).
+func sortedTypes(m map[*types.Named]ast.Node) []*types.Named {
+	out := make([]*types.Named, 0, len(m))
+	for named := range m {
+		out = append(out, named)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Obj().Name() < out[j].Obj().Name()
+	})
+	return out
+}
+
+// localNamed returns t as a named type declared in this package (after
+// pointer indirection), or nil.
+func localNamed(pass *analysis.Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}

@@ -1,0 +1,12 @@
+package registrycheck_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/registrycheck"
+)
+
+func TestRegistrycheck(t *testing.T) {
+	analysistest.Run(t, registrycheck.Analyzer, "nameserver")
+}

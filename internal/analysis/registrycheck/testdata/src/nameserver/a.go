@@ -1,0 +1,82 @@
+// Package nameserver exercises registrycheck: the wireTypes registry must
+// list exactly the package-local structs reachable from gob encoders, and
+// every request field must be read by some handler. (The directory is
+// named nameserver so the testdata package path lands in the analyzer's
+// scope.)
+package nameserver
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// request is the wire request; Watch is a kind no handler ever looks at.
+type request struct {
+	Op    string
+	Path  []string
+	Watch bool // want `request field Watch is never read in this package: a request kind no handler serves`
+}
+
+// response crosses the wire and drags result along through its field.
+type response struct {
+	Results []result
+	Err     string
+}
+
+// result is reachable only through response.Results, which is enough.
+type result struct {
+	Addr string
+}
+
+// orphan crosses the wire below but was never registered.
+type orphan struct { // want `wire type orphan reaches a gob encoder/decoder but is missing from the wireTypes registry`
+	X int
+}
+
+// stale is registered but nothing ever encodes or decodes it.
+type stale struct {
+	Y int
+}
+
+// unrelated neither crosses the wire nor is registered: no complaint.
+type unrelated struct {
+	Z int
+}
+
+var wireTypes = map[string]any{
+	"request":  request{},
+	"response": response{},
+	"result":   result{},
+	"stale":    stale{}, // want `wireTypes entry stale never reaches a gob encoder/decoder; dead registry entries hide real gaps`
+}
+
+func serve(rw io.ReadWriter) error {
+	dec := gob.NewDecoder(rw)
+	enc := gob.NewEncoder(rw)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	var resp response
+	switch req.Op {
+	case "resolve":
+		resp.Results = []result{{Addr: join(req.Path)}}
+	default:
+		resp.Err = "unknown op"
+	}
+	return enc.Encode(&resp)
+}
+
+func leak(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(orphan{X: 1})
+}
+
+func join(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += "/" + p
+	}
+	return out
+}
+
+var _ = unrelated{}

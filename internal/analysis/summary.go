@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncSummary is the interprocedural fact set recorded for one function.
+// Summaries are computed per package in dependency order; cross-package
+// flags are the transitive closure over imported facts, so a caller in
+// internal/cluster sees through a callee in internal/nameserver.
+type FuncSummary struct {
+	// AcquiresLock: the body calls Lock/RLock on a sync.(RW)Mutex
+	// (direct only; lock state does not flow through calls).
+	AcquiresLock bool `json:",omitempty"`
+	// SpawnsGoroutine: the body contains a go statement (direct only).
+	SpawnsGoroutine bool `json:",omitempty"`
+	// SetsDeadline: the function sets a conn deadline on every analysis
+	// path that matters to us — it calls Set(Read|Write)?Deadline, or a
+	// function whose summary says so (transitive).
+	SetsDeadline bool `json:",omitempty"`
+	// ConnIO: the function reaches wire I/O — gob encode/decode, a
+	// Read/Write on a conn-shaped value, or a Dial* call (transitive).
+	ConnIO bool `json:",omitempty"`
+	// Blocks: the function reaches a call that can block indefinitely
+	// (ConnIO or time.Sleep, transitive). Used by lockheld to taint
+	// cross-package callees invoked under a held mutex.
+	Blocks bool `json:",omitempty"`
+	// UnguardedIO: the function performs wire I/O that is not preceded by
+	// a deadline inside its own body, and is not exonerated by its call
+	// sites (see conndeadline v2). A caller that invokes an UnguardedIO
+	// function without first setting a deadline inherits the problem.
+	UnguardedIO bool `json:",omitempty"`
+	// Canonicalizes: the function is a name-canonicalization point — it
+	// carries a //namingvet:canonicalizer directive, or trivially wraps
+	// one (its return statements forward a canonicalizer call).
+	Canonicalizes bool `json:",omitempty"`
+	// ReachesCanon: the function calls a canonicalizer, directly or
+	// transitively. wirecanon uses this for its "core.Path in, wire I/O
+	// out, never canonicalized" rule.
+	ReachesCanon bool `json:",omitempty"`
+}
+
+// Summaries maps FuncKey strings to summaries. Keys use types.Func.FullName
+// ("pkg/path.Func", "(*pkg/path.T).Method"), which is unique module-wide,
+// so merging maps from different packages can never collide.
+type Summaries map[string]FuncSummary
+
+// FuncKey returns the summary key for fn.
+func FuncKey(fn *types.Func) string { return fn.FullName() }
+
+// WireEvent is one lexical event inside a function body that conndeadline
+// cares about: a direct wire I/O operation, or a call to a function whose
+// summary says it performs unguarded wire I/O.
+type WireEvent struct {
+	Pos  token.Pos
+	Desc string // "gob encode", "conn read", …
+	// Callee is non-nil when the event is a call to an UnguardedIO
+	// function rather than direct I/O.
+	Callee *types.Func
+	// Guarded: a deadline event precedes this one lexically in the body.
+	Guarded bool
+	// IdleExempt: the event is an idle-loop read whose unblocking is the
+	// owner's Close (which closes the conn); see idleExempt.
+	IdleExempt bool
+}
+
+// FuncFacts couples a declared function's syntax with its computed summary
+// and the event list conndeadline reports from.
+type FuncFacts struct {
+	Fn      *types.Func
+	Decl    *ast.FuncDecl
+	Summary FuncSummary
+	Events  []WireEvent
+	// Exonerated: every same-package call site of this (unexported,
+	// never used as a value) function is deadline-guarded, so its
+	// unguarded events are the callers' responsibility — already
+	// discharged. Exonerated functions are neither reported nor exported
+	// as UnguardedIO.
+	Exonerated bool
+}
+
+// PackageFacts is what one RunAnalyzers invocation computes and every
+// analyzer Pass can see.
+type PackageFacts struct {
+	// All merges the imported summaries with this package's own — the
+	// lookup table for cross-package queries.
+	All Summaries
+	// Own holds this package's declared functions in source order.
+	Own []*FuncFacts
+	// Graph is the package's call graph.
+	Graph *CallGraph
+
+	byFn map[*types.Func]*FuncFacts
+}
+
+// OwnFacts returns the facts for a function declared in this package, or
+// nil for imported/undeclared functions.
+func (pf *PackageFacts) OwnFacts(fn *types.Func) *FuncFacts {
+	return pf.byFn[fn]
+}
+
+// CanonicalizerDirective in a function's doc comment marks it as a
+// §6 canonicalization point: its results are wire-coherent names.
+const CanonicalizerDirective = "//namingvet:canonicalizer"
+
+// atoms are the raw, position-ordered observations collected from one body
+// before any fixpoint runs.
+type atoms struct {
+	deadlinePos []token.Pos // direct Set*Deadline calls
+	ios         []ioAtom    // direct wire I/O operations
+	lock        bool
+	spawns      bool
+	sleeps      bool
+	dials       bool
+	calls       []CallSite // every statically resolved call, with position
+	// canonReturn: every return statement forwards a call; used for the
+	// thin-wrapper Canonicalizes propagation. Holds the forwarded callees.
+	returnCallees []*types.Func
+}
+
+type ioAtom struct {
+	pos  token.Pos
+	desc string
+	read bool // decode / conn read
+}
+
+// ComputeFacts builds the package's call graph, computes per-function
+// summaries as a fixpoint over same-package calls plus imported facts, and
+// runs the deadline-flow pass (guarded events, call-site exoneration,
+// idle-read exemption) that conndeadline v2 and the exported UnguardedIO
+// fact are built on.
+func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
+	g := BuildCallGraph(pkg)
+	pf := &PackageFacts{
+		All:   make(Summaries, len(imported)+len(g.Order)),
+		Graph: g,
+		byFn:  make(map[*types.Func]*FuncFacts, len(g.Order)),
+	}
+	for k, v := range imported {
+		pf.All[k] = v
+	}
+
+	obs := make(map[*types.Func]*atoms, len(g.Order))
+	for _, fn := range g.Order {
+		decl := g.Decls[fn]
+		a := collectAtoms(pkg, decl)
+		a.calls = g.Calls[fn]
+		obs[fn] = a
+		ff := &FuncFacts{Fn: fn, Decl: decl}
+		if hasDirective(decl.Doc, CanonicalizerDirective) {
+			ff.Summary.Canonicalizes = true
+		}
+		ff.Summary.AcquiresLock = a.lock
+		ff.Summary.SpawnsGoroutine = a.spawns
+		ff.Summary.SetsDeadline = len(a.deadlinePos) > 0
+		ff.Summary.ConnIO = len(a.ios) > 0 || a.dials
+		ff.Summary.Blocks = ff.Summary.ConnIO || a.sleeps
+		pf.Own = append(pf.Own, ff)
+		pf.byFn[fn] = ff
+	}
+
+	// lookup consults own (mutable, fixpoint-in-progress) facts first,
+	// then the imported table. A miss is the zero summary: unknown
+	// callees contribute nothing, so absence of facts can only cause
+	// false negatives, never false positives.
+	lookup := func(callee *types.Func) FuncSummary {
+		if ff := pf.byFn[callee]; ff != nil {
+			return ff.Summary
+		}
+		return pf.All[FuncKey(callee)]
+	}
+
+	// Fixpoint over the monotone transitive flags. Each flag only flips
+	// false→true, so the loop terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range pf.Own {
+			a := obs[ff.Fn]
+			s := &ff.Summary
+			for _, cs := range a.calls {
+				cal := lookup(cs.Callee)
+				if cal.SetsDeadline && !s.SetsDeadline {
+					s.SetsDeadline, changed = true, true
+				}
+				if cal.ConnIO && !s.ConnIO {
+					s.ConnIO, changed = true, true
+				}
+				if (cal.Blocks || cal.ConnIO) && !s.Blocks {
+					s.Blocks, changed = true, true
+				}
+				if (cal.Canonicalizes || cal.ReachesCanon) && !s.ReachesCanon {
+					s.ReachesCanon, changed = true, true
+				}
+			}
+			for _, ret := range a.returnCallees {
+				if lookup(ret).Canonicalizes && !s.Canonicalizes {
+					s.Canonicalizes, changed = true, true
+				}
+			}
+			if s.Canonicalizes && !s.ReachesCanon {
+				s.ReachesCanon, changed = true, true
+			}
+		}
+	}
+
+	deadlineFlow(pkg, pf, obs)
+
+	for _, ff := range pf.Own {
+		pf.All[FuncKey(ff.Fn)] = ff.Summary
+	}
+	return pf
+}
+
+// collectAtoms gathers the raw observations from one declaration. Nested
+// function literals are folded in: a deferred or spawned closure's I/O and
+// deadlines belong, for summary purposes, to the declaring function.
+func collectAtoms(pkg *Package, decl *ast.FuncDecl) *atoms {
+	a := &atoms{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.GoStmt:
+			a.spawns = true
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if call, ok := res.(*ast.CallExpr); ok {
+					if callee := CalleeFunc(pkg.Info, call); callee != nil {
+						a.returnCallees = append(a.returnCallees, callee)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee := CalleeFunc(pkg.Info, node)
+			if callee == nil {
+				return true
+			}
+			recv := callee.Type().(*types.Signature).Recv()
+			switch callee.Name() {
+			case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+				a.deadlinePos = append(a.deadlinePos, node.Pos())
+			case "Lock", "RLock":
+				if recv != nil && (IsNamedType(recv.Type(), "sync", "Mutex") || IsNamedType(recv.Type(), "sync", "RWMutex")) {
+					a.lock = true
+				}
+			case "Sleep":
+				if callee.Pkg() != nil && callee.Pkg().Path() == "time" {
+					a.sleeps = true
+				}
+			case "Encode":
+				if recv != nil && IsNamedType(recv.Type(), "encoding/gob", "Encoder") {
+					a.ios = append(a.ios, ioAtom{node.Pos(), "gob encode", false})
+				}
+			case "Decode":
+				if recv != nil && IsNamedType(recv.Type(), "encoding/gob", "Decoder") {
+					a.ios = append(a.ios, ioAtom{node.Pos(), "gob decode", true})
+				}
+			case "Read", "Write":
+				if recv != nil && HasMethods(recv.Type(), "Read", "Write", "SetDeadline") {
+					a.ios = append(a.ios, ioAtom{node.Pos(), "conn " + strings.ToLower(callee.Name()), callee.Name() == "Read"})
+				}
+			}
+			if n := callee.Name(); len(n) >= 4 && (strings.HasPrefix(n, "Dial") || strings.HasPrefix(n, "dial")) {
+				a.dials = true
+			}
+		}
+		return true
+	})
+	return a
+}
+
+// hasDirective reports whether the doc comment group contains the given
+// //namingvet:… directive as a full line.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

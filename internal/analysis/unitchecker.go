@@ -103,17 +103,36 @@ func unitMode(cfgFile string, analyzers []*Analyzer, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "parse %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The go command caches and propagates the vetx facts file to dependent
-	// units; this suite uses no cross-package facts, so an empty one is
-	// written unconditionally (its absence would fail the vet action).
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("no facts\n"), 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+	// Packages outside this module (the standard library above all) carry no
+	// facts: write an empty table and stop before type-checking them. Their
+	// absence from the summary tables only ever hides events — it can not
+	// fabricate a diagnostic — and vetting stdlib units would double the cost
+	// of every cold `go vet` run.
+	if !strings.HasPrefix(cfg.ImportPath, ModulePath) || cfg.Standard[cfg.ImportPath] {
+		if cfg.VetxOutput != "" {
+			empty, _ := EncodeFacts(Summaries{})
+			if err := os.WriteFile(cfg.VetxOutput, empty, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
+	}
+
+	// Merge the facts of every dependency the go command supplied. The
+	// tables we write below already contain each unit's transitive facts, so
+	// direct dependencies are enough even if the driver prunes the rest.
+	imported := Summaries{}
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		if facts, ok := DecodeFacts(data); ok {
+			for k, v := range facts {
+				imported[k] = v
+			}
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -129,12 +148,40 @@ func unitMode(cfgFile string, analyzers []*Analyzer, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	findings, err := RunAnalyzers(pkg, analyzers)
+	// VetxOnly units (dependencies of the packages named on the vet command
+	// line) still compute and export real facts — that is the whole point of
+	// the facts mechanism — they just skip diagnostics.
+	if cfg.VetxOnly {
+		merged := ComputeFacts(pkg, imported).All
+		return writeVetx(cfg.VetxOutput, merged)
+	}
+	findings, merged, err := RunAnalyzers(pkg, analyzers, imported)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	if code := writeVetx(cfg.VetxOutput, merged); code != 0 {
+		return code
+	}
 	return emit(findings, jsonOut)
+}
+
+// writeVetx serializes a merged summary table to the unit's VetxOutput
+// file ("" means the driver did not ask for one).
+func writeVetx(path string, merged Summaries) int {
+	if path == "" {
+		return 0
+	}
+	data, err := EncodeFacts(merged)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
 }
 
 // standaloneMode loads package patterns with the go toolchain and analyzes
@@ -150,13 +197,23 @@ func standaloneMode(patterns []string, analyzers []*Analyzer, jsonOut bool) int 
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	// Load returns packages in dependency order (go list -deps emits a
+	// package only after everything it imports), so accumulating each
+	// package's merged summaries gives every later package the facts of all
+	// its module dependencies.
+	acc := Summaries{}
 	var all []Finding
 	for _, pkg := range pkgs {
-		findings, err := RunAnalyzers(pkg, analyzers)
+		if pkg.FactsOnly {
+			acc = ComputeFacts(pkg, acc).All
+			continue
+		}
+		findings, merged, err := RunAnalyzers(pkg, analyzers, acc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		acc = merged
 		all = append(all, findings...)
 	}
 	return emit(all, jsonOut)

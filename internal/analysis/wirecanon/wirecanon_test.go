@@ -1,0 +1,12 @@
+package wirecanon_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/wirecanon"
+)
+
+func TestWirecanon(t *testing.T) {
+	analysistest.Run(t, wirecanon.Analyzer, "nameserver")
+}

@@ -26,7 +26,12 @@ type Client struct {
 	retries int
 	backoff time.Duration
 
+	// wg joins the per-shard batch goroutines; Close waits on it after
+	// flipping closed, so no request goroutine outlives the client.
+	wg sync.WaitGroup
+
 	mu        sync.Mutex
+	closed    bool
 	cache     *lru.Cache[string, cacheEntry]
 	revs      []uint64 // per-shard binding revision last seen
 	flights   map[string]*flight
@@ -36,6 +41,11 @@ type Client struct {
 	purges    int
 	failovers int
 }
+
+// batchJoinHook, when non-nil, runs as each batch goroutine finishes but
+// before it leaves the join group — the close-join regression test uses it
+// to prove Close waited.
+var batchJoinHook func()
 
 // cacheEntry tags each cached binding with its shard, so a revision
 // advance purges exactly the entries that shard vouched for.
@@ -215,6 +225,11 @@ func (c *Client) Routes() *nameserver.RouteInfo { return c.routes.Clone() }
 // of the same name share one round-trip (and its outcome, including a
 // failure — but a failed flight is never reused by later calls).
 func (c *Client) Resolve(p core.Path) (core.Entity, error) {
+	// A non-canonical name fails here, not after three replica retries:
+	// the server would reject it as firmly as the first replica did.
+	if _, err := nameserver.CanonicalWirePath(p); err != nil {
+		return core.Undefined, err
+	}
 	key := p.String()
 	c.mu.Lock()
 	if c.cache != nil {
@@ -384,7 +399,21 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 	work := make(map[int]*shardWork)
 	answered := 0 // paths with a definitive outcome (cache, success, or remote error)
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		for i := range out {
+			out[i] = BatchResult{Entity: core.Undefined, Err: ErrClientClosed}
+		}
+		return out, ErrClientClosed
+	}
 	for i, p := range paths {
+		if _, err := nameserver.CanonicalWirePath(p); err != nil {
+			// A non-canonical name fails in its slot without touching the
+			// cache or the wire; the rest of the batch proceeds.
+			out[i] = BatchResult{Entity: core.Undefined, Err: err}
+			answered++
+			continue
+		}
 		key := p.String()
 		if c.cache != nil {
 			if entry, ok := c.cache.Get(key); ok {
@@ -406,6 +435,10 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 		}
 		w.index[key] = append(w.index[key], i)
 	}
+	// Register the shard goroutines with the join group while the closed
+	// check above is still fresh: Close flips closed under this mutex
+	// before waiting, so it either sees these Adds or we see closed.
+	c.wg.Add(len(work))
 	c.mu.Unlock()
 	if len(work) == 0 {
 		return out, nil
@@ -421,6 +454,10 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 	answers := make(chan shardAnswer, len(work))
 	for shard, w := range work {
 		go func(shard int, w *shardWork) {
+			defer c.wg.Done()
+			if batchJoinHook != nil {
+				defer batchJoinHook()
+			}
 			results, rev, err := c.batchAtShard(shard, w.keys)
 			answers <- shardAnswer{shard: shard, results: results, rev: rev, err: err}
 		}(shard, w)
@@ -495,12 +532,22 @@ func (c *Client) Failovers() int {
 	return c.failovers
 }
 
-// Close closes every pooled connection and fails requests that race or
-// follow it with ErrClientClosed.
+// Close closes every pooled connection, fails requests that race or
+// follow it with ErrClientClosed, and waits for in-flight batch
+// goroutines to finish — after Close returns, the client owns no
+// goroutines.
 func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
 	for _, p := range c.pools {
 		p.close()
 	}
+	c.wg.Wait()
 }
 
 // isRemote reports whether err is a definitive server-side answer (the

@@ -117,7 +117,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 	for {
 		var req request
-		//namingvet:ignore conndeadline -- an idle server read blocks until the peer speaks; Close unblocks it by closing the conn
+		// An idle read blocks until the peer speaks; Close unblocks it by
+		// closing the conn (conndeadline's idle-loop exemption knows this).
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or broken peer
 		}
@@ -187,11 +188,17 @@ func (s *Server) withStableRevision(resolve func()) uint64 {
 	}
 }
 
-// resolveOne resolves one wire path in the exported context.
+// resolveOne resolves one wire path in the exported context. The path is
+// re-validated here even though well-behaved clients canonicalize before
+// sending: the wire trusts no peer's parser (§6 — coherence is checked
+// where the name is used, not only where it was made).
 func (s *Server) resolveOne(raw []string) result {
 	p := make(core.Path, len(raw))
 	for i, c := range raw {
 		p[i] = core.Name(c)
+	}
+	if err := checkWireCanonical(p); err != nil {
+		return result{Err: err.Error()}
 	}
 	e, err := s.world.Resolve(s.export, p)
 	if err != nil {
@@ -436,8 +443,14 @@ func (c *Client) noteRevision(rev uint64) {
 	c.rev = rev
 }
 
-// Resolve resolves the compound name at the server (or the cache).
+// Resolve resolves the compound name at the server (or the cache). Names
+// that are not wire-canonical fail client-side with ErrNotCanonical
+// before anything crosses the wire.
 func (c *Client) Resolve(p core.Path) (core.Entity, error) {
+	raw, err := CanonicalWirePath(p)
+	if err != nil {
+		return core.Undefined, err
+	}
 	key := p.String()
 	c.mu.Lock()
 	if c.cache != nil {
@@ -450,10 +463,7 @@ func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 	c.misses++
 	c.mu.Unlock()
 
-	req := request{Path: make([]string, len(p))}
-	for i, n := range p {
-		req.Path[i] = string(n)
-	}
+	req := request{Path: raw}
 	c.beginWire()
 	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
 	if err != nil {
@@ -478,10 +488,11 @@ func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 // and returns the binding revision the response carried. Cluster clients
 // use it to drive a revision-tracked cache that spans many connections.
 func (c *Client) ResolveRev(p core.Path) (core.Entity, uint64, error) {
-	req := request{Path: make([]string, len(p))}
-	for i, n := range p {
-		req.Path[i] = string(n)
+	raw, err := CanonicalWirePath(p)
+	if err != nil {
+		return core.Undefined, 0, err
 	}
+	req := request{Path: raw}
 	c.beginWire()
 	defer c.endWire()
 	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
@@ -498,14 +509,11 @@ func (c *Client) ResolveRev(p core.Path) (core.Entity, uint64, error) {
 // client's own cache, and returns the batch's binding revision. Results
 // are in argument order; per-name failures are in the results.
 func (c *Client) ResolveBatchRev(paths []core.Path) ([]BatchResult, uint64, error) {
-	req := request{Paths: make([][]string, len(paths))}
-	for k, p := range paths {
-		raw := make([]string, len(p))
-		for i, n := range p {
-			raw[i] = string(n)
-		}
-		req.Paths[k] = raw
+	raws, err := canonicalWirePaths(paths)
+	if err != nil {
+		return nil, 0, err
 	}
+	req := request{Paths: raws}
 	c.beginWire()
 	defer c.endWire()
 	resp, err := c.roundTrip(req, fmt.Sprintf("resolve batch of %d", len(paths)))
@@ -545,10 +553,16 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 	}
 
 	// Answer what we can from the cache; collect the rest, deduplicated.
+	// Non-canonical names fail in their result slot before touching the
+	// cache or the wire — a bad name must not become a cache key.
 	need := make(map[string][]int)
 	var order []string
 	c.mu.Lock()
 	for i, p := range paths {
+		if err := checkWireCanonical(p); err != nil {
+			out[i] = BatchResult{Entity: core.Undefined, Err: err}
+			continue
+		}
 		key := p.String()
 		if c.cache != nil {
 			if e, ok := c.cache.Get(key); ok {
@@ -570,11 +584,8 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 
 	req := request{Paths: make([][]string, len(order))}
 	for k, key := range order {
-		p := paths[need[key][0]]
-		raw := make([]string, len(p))
-		for i, n := range p {
-			raw[i] = string(n)
-		}
+		// Already validated above; the error cannot recur.
+		raw, _ := CanonicalWirePath(paths[need[key][0]])
 		req.Paths[k] = raw
 	}
 	c.beginWire()
