@@ -7,10 +7,13 @@ package namecoherence
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"namecoherence/internal/cluster"
 	"namecoherence/internal/core"
@@ -237,12 +240,146 @@ func BenchmarkNameServerRoundTrip(b *testing.B) {
 	}
 }
 
+// delayedChunk is a chunk of proxied bytes due for delivery at a fixed
+// time after it was read.
+type delayedChunk struct {
+	buf []byte
+	due time.Time
+}
+
+// delayCopy forwards src to dst, delivering each chunk delay after it was
+// read. Chunks in flight overlap — the delay models link latency, not
+// bandwidth, which is exactly the distinction pipelining exploits.
+func delayCopy(dst io.WriteCloser, src io.ReadCloser, delay time.Duration) {
+	ch := make(chan delayedChunk, 1024)
+	go func() {
+		defer close(ch)
+		for {
+			buf := make([]byte, 32*1024)
+			n, err := src.Read(buf)
+			if n > 0 {
+				ch <- delayedChunk{buf: buf[:n], due: time.Now().Add(delay)}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for c := range ch {
+		if d := time.Until(c.due); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := dst.Write(c.buf); err != nil {
+			break
+		}
+	}
+	_ = dst.Close()
+	_ = src.Close()
+}
+
+// delayProxy listens on loopback TCP and forwards every connection to
+// backend, adding delay in each direction.
+func delayProxy(b *testing.B, backend string, delay time.Duration) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				_ = conn.Close()
+				continue
+			}
+			go delayCopy(up, conn, delay)
+			go delayCopy(conn, up, delay)
+		}
+	}()
+	b.Cleanup(func() { _ = ln.Close() })
+	return ln.Addr().String()
+}
+
+// BenchmarkNameServerPipelined measures multiplexed wire throughput at
+// bounded in-flight depth over one shared connection: a semaphore caps
+// how many requests are on the wire at a time, so inflight=1 is the old
+// lock-step protocol's regime and inflight=64 a full pipeline, with
+// RunParallel supplying enough goroutines to keep the pipeline at depth.
+// A name server is remote by definition, so the headline sub-benchmarks
+// run over loopback TCP through a delay proxy adding 1ms each way (a
+// LAN-scale round-trip): that is the latency pipelining exists to hide.
+// The raw/ variants skip the proxy and so measure pure codec + scheduling
+// cost per message — on a single-CPU host both depths converge there,
+// because zero-latency loopback leaves nothing to overlap. names/s is the
+// figure of merit; the inflight=64 / inflight=1 ratio is the pipelining
+// win.
+func BenchmarkNameServerPipelined(b *testing.B) {
+	w := core.NewWorld()
+	tr := dirtree.New(w, "export")
+	paths := make([]core.Path, 16)
+	for i := range paths {
+		p := fmt.Sprintf("srv/obj%02d", i)
+		if _, err := tr.Create(core.ParsePath(p), "x"); err != nil {
+			b.Fatal(err)
+		}
+		paths[i] = core.ParsePath(p)
+	}
+	run := func(b *testing.B, addr string, depth int) {
+		client, err := nameserver.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		procs := runtime.GOMAXPROCS(0)
+		b.SetParallelism((depth+procs-1)/procs + 1)
+		sem := make(chan struct{}, depth)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				sem <- struct{}{}
+				_, err := client.Resolve(paths[i%len(paths)])
+				<-sem
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "names/s")
+	}
+	server := nameserver.NewServer(w, tr.RootContext(), nameserver.WithWorkers(8))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go server.Serve(ln)
+	defer server.Close()
+	proxied := delayProxy(b, ln.Addr().String(), time.Millisecond)
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("inflight=%d", depth), func(b *testing.B) {
+			run(b, proxied, depth)
+		})
+	}
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("raw/inflight=%d", depth), func(b *testing.B) {
+			run(b, ln.Addr().String(), depth)
+		})
+	}
+}
+
 // BenchmarkE14ShardedCluster measures sharded-cluster resolution
-// throughput versus shard count and batch size (the raw wire cost E14's
-// table aggregates). Each iteration resolves the same 64-name slate
-// through an uncached client — batch=1 issues 64 round-trips, batch=64
-// issues one per shard — so ns/op compares directly and names/s shows the
-// amortization.
+// throughput versus shard count, batch size, and client concurrency (the
+// raw wire cost E14's table aggregates). Each iteration resolves the
+// 64-name slate conc times through one uncached client — batch=1 issues
+// 64 round-trips per worker, batch=64 one per shard, and conc>1 workers
+// multiplex over the same shared per-replica connections — so ns/op
+// compares directly and names/s shows batching and pipelining amortize.
 func BenchmarkE14ShardedCluster(b *testing.B) {
 	const slate = 64
 	var spec strings.Builder
@@ -261,29 +398,59 @@ func BenchmarkE14ShardedCluster(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, batch := range []int{1, 8, 64} {
-			b.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(b *testing.B) {
-				client, err := cluster.Dial("tcp", cl.Addrs()[0])
-				if err != nil {
-					b.Fatal(err)
-				}
-				defer client.Close()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					for at := 0; at < slate; at += batch {
-						results, err := client.ResolveBatch(paths[at : at+batch])
-						if err != nil {
-							b.Fatal(err)
-						}
-						for _, res := range results {
-							if res.Err != nil {
-								b.Fatal(res.Err)
+			for _, conc := range []int{1, 8} {
+				b.Run(fmt.Sprintf("shards=%d/batch=%d/conc=%d", shards, batch, conc), func(b *testing.B) {
+					client, err := cluster.Dial("tcp", cl.Addrs()[0])
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer client.Close()
+					slate64 := func() error {
+						for at := 0; at < slate; at += batch {
+							results, err := client.ResolveBatch(paths[at : at+batch])
+							if err != nil {
+								return err
+							}
+							for _, res := range results {
+								if res.Err != nil {
+									return res.Err
+								}
 							}
 						}
+						return nil
 					}
-				}
-				b.StopTimer()
-				b.ReportMetric(float64(slate*b.N)/b.Elapsed().Seconds(), "names/s")
-			})
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if conc == 1 {
+							// Inline: per-iteration goroutine spawns would
+							// charge stack growth to the serial baseline.
+							if err := slate64(); err != nil {
+								b.Fatal(err)
+							}
+							continue
+						}
+						var wg sync.WaitGroup
+						errCh := make(chan error, conc)
+						for g := 0; g < conc; g++ {
+							wg.Add(1)
+							go func() {
+								defer wg.Done()
+								if err := slate64(); err != nil {
+									errCh <- err
+								}
+							}()
+						}
+						wg.Wait()
+						select {
+						case err := <-errCh:
+							b.Fatal(err)
+						default:
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(slate*conc*b.N)/b.Elapsed().Seconds(), "names/s")
+				})
+			}
 		}
 		cl.Close()
 	}

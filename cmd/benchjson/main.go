@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` text output into JSON so CI
+// can publish benchmark numbers as a machine-readable artifact. It reads
+// benchmark output on stdin and writes one JSON object to stdout mapping
+// each benchmark name to its iteration count, ns/op, and any custom
+// metrics (names/s and friends reported via b.ReportMetric).
+//
+// Usage:
+//
+//	go test -bench . | benchjson > BENCH.json
+//
+// Lines that are not benchmark results (headers, PASS, ok) are ignored, so
+// the raw `go test` stream can be piped in unfiltered. Repeated runs of
+// the same benchmark (-count > 1) are averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds the parsed measurements for one benchmark name.
+type result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+
+	runs int64 // how many result lines were folded in (for averaging)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/inflight=8-4   3741   297379 ns/op   3363 names/s
+//
+// and returns the benchmark name (with the -GOMAXPROCS suffix intact, so
+// distinct machine shapes stay distinct) and its measurements. ok is false
+// for lines that are not benchmark results.
+func parseLine(line string) (name string, r result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	r = result{Iterations: iters, runs: 1}
+	// The remainder alternates value / unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return fields[0], r, true
+}
+
+// fold merges a repeated run of the same benchmark into acc by averaging
+// every measurement.
+func fold(acc *result, r result) {
+	n := float64(acc.runs)
+	acc.NsPerOp = (acc.NsPerOp*n + r.NsPerOp) / (n + 1)
+	acc.Iterations += r.Iterations
+	for unit, v := range r.Metrics {
+		if acc.Metrics == nil {
+			acc.Metrics = make(map[string]float64)
+		}
+		acc.Metrics[unit] = (acc.Metrics[unit]*n + v) / (n + 1)
+	}
+	acc.runs++
+}
+
+// convert reads benchmark text from in and writes the JSON document to out.
+func convert(in io.Reader, out io.Writer) error {
+	results := make(map[string]*result)
+	var order []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		name, r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if acc, seen := results[name]; seen {
+			fold(acc, r)
+		} else {
+			results[name] = &r
+			order = append(order, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("read bench output: %w", err)
+	}
+	sort.Strings(order)
+	doc := make(map[string]*result, len(results))
+	for _, name := range order {
+		doc[name] = results[name]
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: namecoherence
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNameServerRoundTrip/uncached-4         	  253170	      4742 ns/op
+BenchmarkNameServerPipelined/inflight=1-4       	     520	   2357100 ns/op	       424.3 names/s
+BenchmarkNameServerPipelined/inflight=64-4      	   27638	     45453 ns/op	     22001 names/s
+PASS
+ok  	namecoherence	8.264s
+`
+
+func parse(t *testing.T, in string) map[string]result {
+	t.Helper()
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]result
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	return doc
+}
+
+func TestConvertSample(t *testing.T) {
+	doc := parse(t, sample)
+	if len(doc) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %v", len(doc), doc)
+	}
+	rt := doc["BenchmarkNameServerRoundTrip/uncached-4"]
+	if rt.NsPerOp != 4742 || rt.Iterations != 253170 {
+		t.Errorf("round trip = %+v, want 4742 ns/op over 253170 iterations", rt)
+	}
+	if len(rt.Metrics) != 0 {
+		t.Errorf("round trip has unexpected metrics: %v", rt.Metrics)
+	}
+	deep := doc["BenchmarkNameServerPipelined/inflight=64-4"]
+	if got := deep.Metrics["names/s"]; got != 22001 {
+		t.Errorf("names/s = %v, want 22001", got)
+	}
+	shallow := doc["BenchmarkNameServerPipelined/inflight=1-4"]
+	if got := shallow.Metrics["names/s"]; got != 424.3 {
+		t.Errorf("names/s = %v, want 424.3", got)
+	}
+}
+
+func TestConvertAveragesRepeatedRuns(t *testing.T) {
+	in := `BenchmarkX-1   100   10 ns/op   1000 names/s
+BenchmarkX-1   300   30 ns/op   3000 names/s
+`
+	doc := parse(t, in)
+	x := doc["BenchmarkX-1"]
+	if x.NsPerOp != 20 {
+		t.Errorf("ns/op = %v, want average 20", x.NsPerOp)
+	}
+	if x.Iterations != 400 {
+		t.Errorf("iterations = %d, want total 400", x.Iterations)
+	}
+	if got := x.Metrics["names/s"]; got != 2000 {
+		t.Errorf("names/s = %v, want average 2000", got)
+	}
+}
+
+func TestConvertIgnoresNoise(t *testing.T) {
+	in := `random prose
+Benchmark	notanumber	5 ns/op
+PASS
+`
+	doc := parse(t, in)
+	if len(doc) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %v", doc)
+	}
+}

@@ -144,3 +144,36 @@ func scatter(vals []int) int {
 	}
 	return total
 }
+
+// okWorkerPool is the per-connection leader/followers pool: each worker
+// registers with the local WaitGroup before its spawn and the pool is
+// joined before the serve call returns.
+func (o *owner) okWorkerPool(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o.count++
+		}()
+	}
+	wg.Wait()
+}
+
+// okSharedBody spawns a shared named body wrapped in a literal that
+// signals the WaitGroup — the shape ResolveBatch uses so its single-shard
+// case can run the same body inline on the caller's goroutine.
+func (o *owner) okSharedBody(vals []int) {
+	body := func(v int) { o.count += v }
+	for _, v := range vals {
+		if len(vals) == 1 {
+			body(v)
+			continue
+		}
+		o.wg.Add(1)
+		go func(v int) {
+			defer o.wg.Done()
+			body(v)
+		}(v)
+	}
+}

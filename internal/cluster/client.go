@@ -13,16 +13,18 @@ import (
 )
 
 // Client fronts a sharded cluster: it routes every name to the shard
-// serving its prefix, pools connections per shard, answers repeats from a
-// revision-tracked LRU cache, coalesces concurrent identical lookups, and
-// resolves batches with one round-trip per shard. Every round-trip runs
-// under a deadline; transport failures are retried with exponential
-// backoff across the shard's replicas, and replicas that keep failing are
-// circuit-broken so they stop absorbing dials.
+// serving its prefix, shares one multiplexed connection per replica (the
+// wire client pipelines concurrent requests, so shard lookups overlap on
+// a single conn), answers repeats from a revision-tracked LRU cache,
+// coalesces concurrent identical lookups, and resolves batches with one
+// round-trip per shard. Every round-trip runs under a deadline; transport
+// failures retire the poisoned connection and are retried with
+// exponential backoff across the shard's replicas, and replicas that keep
+// failing are circuit-broken so they stop absorbing dials.
 type Client struct {
 	network string
 	routes  *nameserver.RouteInfo
-	pools   []*connPool
+	shards  []*replicaSet
 	retries int
 	backoff time.Duration
 
@@ -100,14 +102,12 @@ func WithLRU(n int) ClientOption {
 
 type poolOption int
 
-func (o poolOption) apply(c *Client) {
-	for _, p := range c.pools {
-		p.max = int(o)
-	}
-}
+func (poolOption) apply(*Client) {}
 
-// WithPoolSize caps the idle connections kept per shard (default 2).
-// Concurrent requests beyond the cap still run — they dial and discard.
+// WithPoolSize is a no-op kept for compatibility: requests to one shard
+// used to check out exclusive pooled connections, but the multiplexed
+// wire client pipelines concurrent requests over one shared connection
+// per replica, so there is no idle pool left to size.
 func WithPoolSize(n int) ClientOption {
 	return poolOption(n)
 }
@@ -115,13 +115,15 @@ func WithPoolSize(n int) ClientOption {
 type timeoutOption time.Duration
 
 func (o timeoutOption) apply(c *Client) {
-	for _, p := range c.pools {
+	for _, p := range c.shards {
 		p.timeout = time.Duration(o)
 	}
 }
 
 // WithTimeout bounds every dial and round-trip (default 5s; 0 disables).
-// A hung replica then costs one timeout, not a wedged client.
+// A hung replica then costs one timeout, not a wedged client: the
+// per-call timer fails only the waiting call, and the poisoned connection
+// is retired on the way out.
 func WithTimeout(d time.Duration) ClientOption {
 	return timeoutOption(d)
 }
@@ -153,7 +155,7 @@ type breakerOption struct {
 }
 
 func (o breakerOption) apply(c *Client) {
-	for _, p := range c.pools {
+	for _, p := range c.shards {
 		p.breakerThreshold = o.threshold
 		p.breakerCooldown = o.cooldown
 	}
@@ -166,30 +168,27 @@ func WithBreaker(threshold int, cooldown time.Duration) ClientOption {
 	return breakerOption{threshold: threshold, cooldown: cooldown}
 }
 
-// defaultPoolSize is the idle-connection cap per shard.
-const defaultPoolSize = 2
-
 // NewClient returns a client over an already-known routing table.
 func NewClient(network string, routes *nameserver.RouteInfo, opts ...ClientOption) *Client {
 	c := &Client{
 		network: network,
 		routes:  routes.Clone(),
-		pools:   make([]*connPool, len(routes.Addrs)),
+		shards:  make([]*replicaSet, len(routes.Addrs)),
 		revs:    make([]uint64, len(routes.Addrs)),
 		flights: make(map[string]*flight),
 		retries: defaultRetries,
 		backoff: defaultBackoffBase,
 	}
 	for i := range routes.Addrs {
-		c.pools[i] = &connPool{
+		c.shards[i] = &replicaSet{
 			network:          network,
 			addrs:            c.routes.ReplicaAddrs(i),
-			max:              defaultPoolSize,
 			timeout:          defaultTimeout,
 			breakerThreshold: defaultBreakerThreshold,
 			breakerCooldown:  defaultBreakerCooldown,
 		}
-		c.pools[i].breakers = make([]breaker, len(c.pools[i].addrs))
+		c.shards[i].conns = make([]*sharedConn, len(c.shards[i].addrs))
+		c.shards[i].breakers = make([]breaker, len(c.shards[i].addrs))
 	}
 	for _, o := range opts {
 		o.apply(c)
@@ -267,18 +266,18 @@ func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 }
 
 // resolveAtShard runs one single-name round-trip against the shard, with
-// bounded retry: each transport failure closes the poisoned connection,
-// records it against the replica's breaker, backs off, and prefers a
-// different replica on the next attempt.
+// bounded retry: each transport failure retires the poisoned shared
+// connection, records it against the replica's breaker, backs off, and
+// prefers a different replica on the next attempt.
 func (c *Client) resolveAtShard(shard int, p core.Path) (core.Entity, uint64, error) {
-	pool := c.pools[shard]
+	set := c.shards[shard]
 	var lastErr error
 	avoid := -1
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(c.backoffDelay(attempt))
 		}
-		conn, err := pool.get(avoid)
+		conn, err := set.get(avoid)
 		if err != nil {
 			if errors.Is(err, ErrClientClosed) {
 				return core.Undefined, 0, err
@@ -288,13 +287,12 @@ func (c *Client) resolveAtShard(shard int, p core.Path) (core.Entity, uint64, er
 		}
 		e, rev, err := conn.ResolveRev(p)
 		if err == nil || isRemote(err) {
-			pool.put(conn)
+			set.ok(conn.replica)
 			return e, rev, err
 		}
-		// Transport failure: the connection is poisoned, drop it and
-		// charge the replica's breaker.
-		_ = conn.Close()
-		pool.fail(conn.replica)
+		// Transport failure: the shared connection is poisoned, retire it
+		// and charge the replica's breaker.
+		set.retire(conn)
 		c.noteFailover(attempt)
 		avoid = conn.replica
 		lastErr = fmt.Errorf("shard %d replica %d: %w", shard, conn.replica, err)
@@ -304,14 +302,14 @@ func (c *Client) resolveAtShard(shard int, p core.Path) (core.Entity, uint64, er
 
 // batchAtShard is resolveAtShard for one wire batch.
 func (c *Client) batchAtShard(shard int, keys []core.Path) ([]BatchResult, uint64, error) {
-	pool := c.pools[shard]
+	set := c.shards[shard]
 	var lastErr error
 	avoid := -1
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(c.backoffDelay(attempt))
 		}
-		conn, err := pool.get(avoid)
+		conn, err := set.get(avoid)
 		if err != nil {
 			if errors.Is(err, ErrClientClosed) {
 				return nil, 0, err
@@ -321,11 +319,10 @@ func (c *Client) batchAtShard(shard int, keys []core.Path) ([]BatchResult, uint6
 		}
 		results, rev, err := conn.ResolveBatchRev(keys)
 		if err == nil {
-			pool.put(conn)
+			set.ok(conn.replica)
 			return results, rev, nil
 		}
-		_ = conn.Close()
-		pool.fail(conn.replica)
+		set.retire(conn)
 		c.noteFailover(attempt)
 		avoid = conn.replica
 		lastErr = fmt.Errorf("shard %d replica %d: %w", shard, conn.replica, err)
@@ -452,14 +449,27 @@ func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
 		err     error
 	}
 	answers := make(chan shardAnswer, len(work))
+	runShard := func(shard int, w *shardWork) {
+		if batchJoinHook != nil {
+			defer batchJoinHook()
+		}
+		results, rev, err := c.batchAtShard(shard, w.keys)
+		answers <- shardAnswer{shard: shard, results: results, rev: rev, err: err}
+	}
 	for shard, w := range work {
+		if len(work) == 1 {
+			// One shard: run on the caller's goroutine. A spawn here buys no
+			// concurrency and charges a fresh stack (grown through the codec's
+			// reflection) to every single-shard batch.
+			func() {
+				defer c.wg.Done()
+				runShard(shard, w)
+			}()
+			continue
+		}
 		go func(shard int, w *shardWork) {
 			defer c.wg.Done()
-			if batchJoinHook != nil {
-				defer batchJoinHook()
-			}
-			results, rev, err := c.batchAtShard(shard, w.keys)
-			answers <- shardAnswer{shard: shard, results: results, rev: rev, err: err}
+			runShard(shard, w)
 		}(shard, w)
 	}
 
@@ -532,7 +542,7 @@ func (c *Client) Failovers() int {
 	return c.failovers
 }
 
-// Close closes every pooled connection, fails requests that race or
+// Close closes every shared connection, fails requests that race or
 // follow it with ErrClientClosed, and waits for in-flight batch
 // goroutines to finish — after Close returns, the client owns no
 // goroutines.
@@ -544,7 +554,7 @@ func (c *Client) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	for _, p := range c.pools {
+	for _, p := range c.shards {
 		p.close()
 	}
 	c.wg.Wait()
@@ -558,7 +568,7 @@ func isRemote(err error) bool {
 }
 
 // breaker tracks one replica's consecutive transport failures. Once they
-// reach the pool's threshold the replica is skipped until the cooldown
+// reach the set's threshold the replica is skipped until the cooldown
 // passes; the next probe then either resets it or re-opens it.
 type breaker struct {
 	failures  int
@@ -570,45 +580,41 @@ func (b *breaker) allows(now time.Time, threshold int) bool {
 	return threshold <= 0 || b.failures < threshold || !now.Before(b.openUntil)
 }
 
-// connPool keeps idle connections to one shard's replicas. Concurrent
-// requests each get their own connection, so lookups to one shard can
-// overlap; at most max idle connections are retained.
-type connPool struct {
+// sharedConn is a multiplexed wire connection tagged with the replica it
+// reaches. Any number of shard requests use it concurrently; the wire
+// client pipelines them.
+type sharedConn struct {
+	*nameserver.Client
+	replica int
+}
+
+// replicaSet maintains at most one shared connection per replica of one
+// shard. Concurrent requests multiplex over the same connection instead
+// of checking out exclusive ones; a connection leaves the set only when a
+// transport failure retires it (retire) or the set closes.
+type replicaSet struct {
 	network          string
 	addrs            []string // replica addresses, primary first
-	max              int
 	timeout          time.Duration
 	breakerThreshold int
 	breakerCooldown  time.Duration
 
 	mu       sync.Mutex
-	free     []*pooledConn
+	conns    []*sharedConn // per-replica shared connection, nil until dialed
 	closed   bool
 	breakers []breaker
 }
 
-// pooledConn is a wire connection tagged with the replica it reaches.
-type pooledConn struct {
-	*nameserver.Client
-	replica int
-}
-
-// get pops an idle connection or dials a replica: the primary first, then
-// the rest, skipping replicas whose breaker is open and trying the replica
-// the caller just saw fail (avoid, -1 for none) last. It fails once the
-// pool is closed — including a dial that raced close, so no connection
-// leaks past Close.
-func (p *connPool) get(avoid int) (*pooledConn, error) {
+// get returns the shared connection of a healthy replica, dialing one if
+// none is up: the primary first, then the rest, skipping replicas whose
+// breaker is open and trying the replica the caller just saw fail (avoid,
+// -1 for none) last. It fails once the set is closed — including a dial
+// that raced close, so no connection leaks past Close.
+func (p *replicaSet) get(avoid int) (*sharedConn, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrClientClosed
-	}
-	if n := len(p.free); n > 0 {
-		conn := p.free[n-1]
-		p.free = p.free[:n-1]
-		p.mu.Unlock()
-		return conn, nil
 	}
 	now := time.Now()
 	candidates := make([]int, 0, len(p.addrs))
@@ -620,6 +626,13 @@ func (p *connPool) get(avoid int) (*pooledConn, error) {
 	if avoid >= 0 && avoid < len(p.addrs) && p.breakers[avoid].allows(now, p.breakerThreshold) {
 		candidates = append(candidates, avoid)
 	}
+	// Reuse before dialing: the first candidate already up wins.
+	for _, r := range candidates {
+		if conn := p.conns[r]; conn != nil {
+			p.mu.Unlock()
+			return conn, nil
+		}
+	}
 	p.mu.Unlock()
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("all %d replicas cooling down after repeated failures", len(p.addrs))
@@ -628,7 +641,7 @@ func (p *connPool) get(avoid int) (*pooledConn, error) {
 	for _, r := range candidates {
 		conn, err := p.dialReplica(r)
 		if err != nil {
-			p.fail(r)
+			p.bad(r)
 			lastErr = err
 			continue
 		}
@@ -638,14 +651,22 @@ func (p *connPool) get(avoid int) (*pooledConn, error) {
 			_ = conn.Close()
 			return nil, ErrClientClosed
 		}
+		if winner := p.conns[r]; winner != nil {
+			// Lost a dial race; the winner's connection is the shared one.
+			p.mu.Unlock()
+			_ = conn.Close()
+			return winner, nil
+		}
+		p.conns[r] = conn
 		p.mu.Unlock()
 		return conn, nil
 	}
 	return nil, lastErr
 }
 
-// dialReplica dials one replica under the pool's timeout.
-func (p *connPool) dialReplica(r int) (*pooledConn, error) {
+// dialReplica dials one replica under the set's timeout, outside any lock
+// (dialing is wire I/O; lockheld).
+func (p *replicaSet) dialReplica(r int) (*sharedConn, error) {
 	var nc *nameserver.Client
 	var err error
 	if p.timeout > 0 {
@@ -657,58 +678,57 @@ func (p *connPool) dialReplica(r int) (*pooledConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &pooledConn{Client: nc, replica: r}, nil
+	return &sharedConn{Client: nc, replica: r}, nil
 }
 
-// put returns a healthy connection to the pool (or closes it when the
-// pool is full or closed) and resets its replica's breaker.
-func (p *connPool) put(conn *pooledConn) {
+// ok resets a replica's breaker after a successful round-trip.
+func (p *replicaSet) ok(replica int) {
 	p.mu.Lock()
-	p.breakers[conn.replica] = breaker{}
-	if p.closed || len(p.free) >= p.max {
-		p.mu.Unlock()
-		_ = conn.Close()
-		return
-	}
-	p.free = append(p.free, conn)
+	p.breakers[replica] = breaker{}
 	p.mu.Unlock()
 }
 
-// fail charges one transport failure to a replica's breaker, opening it at
-// the threshold, and drops idle connections to that replica (they are very
-// likely poisoned too).
-func (p *connPool) fail(replica int) {
+// bad charges one transport failure to a replica's breaker, opening it at
+// the threshold.
+func (p *replicaSet) bad(replica int) {
 	p.mu.Lock()
 	b := &p.breakers[replica]
 	b.failures++
 	if p.breakerThreshold > 0 && b.failures >= p.breakerThreshold {
 		b.openUntil = time.Now().Add(p.breakerCooldown)
 	}
-	var drop []*pooledConn
-	kept := p.free[:0]
-	for _, conn := range p.free {
-		if conn.replica == replica {
-			drop = append(drop, conn)
-			continue
-		}
-		kept = append(kept, conn)
-	}
-	p.free = kept
 	p.mu.Unlock()
-	for _, conn := range drop {
-		_ = conn.Close()
-	}
 }
 
-// close closes every idle connection; in-flight connections are closed on
-// put, and get fails from now on.
-func (p *connPool) close() {
+// retire charges a transport failure against conn's replica and drops
+// conn from the set if it is still the shared one (a concurrent request
+// may already have replaced it). The poisoned connection is closed either
+// way; concurrent calls still on it fail fast and retry on a fresh one.
+func (p *replicaSet) retire(conn *sharedConn) {
 	p.mu.Lock()
-	free := p.free
-	p.free = nil
+	b := &p.breakers[conn.replica]
+	b.failures++
+	if p.breakerThreshold > 0 && b.failures >= p.breakerThreshold {
+		b.openUntil = time.Now().Add(p.breakerCooldown)
+	}
+	if p.conns[conn.replica] == conn {
+		p.conns[conn.replica] = nil
+	}
+	p.mu.Unlock()
+	_ = conn.Close()
+}
+
+// close closes every shared connection; in-flight calls on them fail, and
+// get fails from now on.
+func (p *replicaSet) close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = make([]*sharedConn, len(p.addrs))
 	p.closed = true
 	p.mu.Unlock()
-	for _, conn := range free {
-		_ = conn.Close()
+	for _, conn := range conns {
+		if conn != nil {
+			_ = conn.Close()
+		}
 	}
 }

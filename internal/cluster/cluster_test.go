@@ -406,14 +406,14 @@ func TestClusterSingleShardDegeneratesToOneServer(t *testing.T) {
 	}
 }
 
-func TestConnPoolReuse(t *testing.T) {
+func TestSharedConnReuse(t *testing.T) {
 	cl := startCluster(t, 2)
 	client, err := Dial("tcp", cl.Addrs()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	// Sequential resolves to one shard reuse one pooled connection.
+	// Sequential resolves to one shard multiplex over one shared conn.
 	p := core.ParsePath("etc/motd")
 	shard := cl.Routes().ShardFor(p)
 	for i := 0; i < 10; i++ {
@@ -421,12 +421,17 @@ func TestConnPoolReuse(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pool := client.pools[shard]
-	pool.mu.Lock()
-	idle := len(pool.free)
-	pool.mu.Unlock()
-	if idle != 1 {
-		t.Fatalf("idle connections = %d, want 1 (sequential use reuses one conn)", idle)
+	set := client.shards[shard]
+	set.mu.Lock()
+	up := 0
+	for _, conn := range set.conns {
+		if conn != nil {
+			up++
+		}
+	}
+	set.mu.Unlock()
+	if up != 1 {
+		t.Fatalf("shared connections = %d, want 1 (sequential use shares one conn)", up)
 	}
 }
 

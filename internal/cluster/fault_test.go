@@ -297,9 +297,9 @@ func TestPoolGetFailsAfterClose(t *testing.T) {
 	if _, err := client.Resolve(core.ParsePath("etc/motd")); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Resolve after Close = %v, want ErrClientClosed", err)
 	}
-	pool := client.pools[0]
-	if _, err := pool.get(-1); !errors.Is(err, ErrClientClosed) {
-		t.Fatalf("pool.get after close = %v, want ErrClientClosed", err)
+	set := client.shards[0]
+	if _, err := set.get(-1); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("replicaSet.get after close = %v, want ErrClientClosed", err)
 	}
 }
 

@@ -206,7 +206,7 @@ func TestRevisionSampledAfterResolution(t *testing.T) {
 	if resp.Err != "" {
 		t.Fatal(resp.Err)
 	}
-	if got := core.EntityID(resp.ID); got != newLs.ID {
+	if got := core.EntityID(resp.Ent); got != newLs.ID {
 		t.Fatalf("resolved ID = %d, want the rebound entity %d", got, newLs.ID)
 	}
 	if resp.Rev != s.Revision() {

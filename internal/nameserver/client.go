@@ -1,0 +1,686 @@
+package nameserver
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"namecoherence/internal/core"
+	"namecoherence/internal/lru"
+)
+
+// RemoteError is a resolution failure reported by the server.
+type RemoteError struct {
+	// Msg is the server-side error message.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// ErrClientClosed reports a call against a closed Client.
+var ErrClientClosed = errors.New("nameserver: client closed")
+
+// clientWriteTimeout bounds each request write so a peer that stops
+// reading cannot pin a writer forever. Generous on purpose: a request is
+// small, so a write that takes this long means a dead peer, not a slow
+// one. With a per-call timeout configured the write bound tightens to it.
+const clientWriteTimeout = time.Minute
+
+// pendingCall is one in-flight request, parked in the pending table until
+// a reader delivers the response tagged with its ID.
+type pendingCall struct {
+	req  request
+	resp response
+	err  error
+	done chan struct{} // closed exactly once, by whoever removes the call from pending
+}
+
+// Client is a connection to a name server with an optional resolution
+// cache. One Client multiplexes any number of concurrent callers over a
+// single connection: each call is tagged with a fresh ID and parked in a
+// pending table, then the caller itself encodes the request under a
+// capacity-1 write token — when other callers are already queued for the
+// token the flush is left to the last of them, so a burst of pipelined
+// requests rides one syscall. Responses come back in whatever order the
+// server finished them and are dispatched by tag. Reading is
+// leader/followers: one waiting caller at a time holds the read token and
+// decodes for everyone, so the serial case pays no goroutine handoffs at
+// all. A leader stuck in a read cannot honor its own timer, so with
+// WithTimeout the leader arms the connection's read deadline with its
+// call's expiry instead — a deadline-failed read poisons the client
+// exactly as an expired call would have (see lead). The pending table lives under its own
+// short-section mutex and the cache and counters under another, so Stats
+// and cache hits never wait behind a slow server and no mutex is ever
+// held across wire I/O (lockheld).
+type Client struct {
+	conn    net.Conn
+	bw      *bufio.Writer // guarded by wtoken
+	enc     *gob.Encoder  // guarded by wtoken
+	dec     *gob.Decoder  // guarded by rtoken
+	timeout time.Duration // per-call bound; immutable after the options run
+
+	wtoken    chan struct{} // capacity 1; held while encoding and flushing
+	rtoken    chan struct{} // capacity 1; held by the leading reader
+	wq        atomic.Int32  // declared write intents; >0 after our encode elides our flush
+	wdeadline time.Time     // armed write deadline; guarded by wtoken
+
+	closeOnce sync.Once
+
+	// pmu guards the multiplexing table only; never held across I/O.
+	pmu     sync.Mutex
+	pending map[uint64]*pendingCall
+	nextID  uint64
+	broken  error // sticky: once the stream is unusable, new calls fail fast
+
+	mu       sync.Mutex // guards the fields below; never held across I/O
+	cache    *lru.Cache[string, core.Entity]
+	coherent bool
+	rev      uint64
+	hits     int
+	misses   int
+	purges   int
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	apply(*Client)
+}
+
+type cacheOption int
+
+func (o cacheOption) apply(c *Client) {
+	c.cache = lru.New[string, core.Entity](int(o))
+}
+
+// WithCache enables a client-side LRU resolution cache of at most n
+// entries. The cache is never invalidated; it models the
+// (coherence-agnostic) name caches common in directory services.
+func WithCache(n int) ClientOption {
+	return cacheOption(n)
+}
+
+type coherentCacheOption int
+
+func (o coherentCacheOption) apply(c *Client) {
+	c.cache = lru.New[string, core.Entity](int(o))
+	c.coherent = true
+}
+
+// WithCoherentCache enables a revision-tracked LRU cache of at most n
+// entries: every response carries the server's binding revision, the
+// whole cache is purged when a response shows the revision advanced, and
+// only entities fetched at the current revision are stored (see
+// admitRevision for why both halves are needed once responses complete
+// out of order). Cache staleness is thus bounded by one round-trip after
+// a server-side change (pair with Server.WatchExport for automatic
+// bumping).
+func WithCoherentCache(n int) ClientOption {
+	return coherentCacheOption(n)
+}
+
+type timeoutOption time.Duration
+
+func (o timeoutOption) apply(c *Client) { c.timeout = time.Duration(o) }
+
+// WithTimeout bounds every call: a per-call timer starts when the call is
+// issued and, on expiry, fails that call with a timeout error (satisfying
+// errors.Is(err, os.ErrDeadlineExceeded) and net.Error's Timeout) and
+// poisons the client — the abandoned response may still arrive and is
+// discarded, but the connection's pipeline can no longer be trusted to be
+// drained promptly, so subsequent calls fail fast and the caller must
+// discard the client. Per-call timers replace conn.SetDeadline, which
+// would race across concurrent calls sharing the connection.
+func WithTimeout(d time.Duration) ClientOption {
+	return timeoutOption(d)
+}
+
+// NewClient wraps an established connection. The client spawns no
+// goroutines: callers themselves take turns decoding (see call).
+func NewClient(conn net.Conn, opts ...ClientOption) *Client {
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		dec:     gob.NewDecoder(bufio.NewReader(conn)),
+		wtoken:  make(chan struct{}, 1),
+		rtoken:  make(chan struct{}, 1),
+		pending: make(map[uint64]*pendingCall),
+	}
+	c.enc = gob.NewEncoder(c.bw)
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// defaultDialTimeout bounds Dial's connection attempt. A raw net.Dial is
+// unbounded (conndeadline); callers wanting a different bound use
+// DialTimeout.
+const defaultDialTimeout = 10 * time.Second
+
+// Dial connects to a server listening at addr. The connection attempt is
+// bounded by a default timeout.
+func Dial(network, addr string, opts ...ClientOption) (*Client, error) {
+	return DialTimeout(network, addr, defaultDialTimeout, opts...)
+}
+
+// DialTimeout is Dial with a bound on the connection attempt itself.
+func DialTimeout(network, addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial name server: %w", err)
+	}
+	return NewClient(conn, opts...), nil
+}
+
+// send encodes pc's request while holding the write token, then releases
+// the token. The flush is elided when another caller has already declared
+// a write intent (wq): that caller cannot abandon the token wait in
+// no-timeout mode, so its own flush is guaranteed to carry our bytes and
+// a pipelined burst coalesces into one syscall. With a per-call timeout a
+// queued caller may abandon the wait, so every send flushes.
+//
+// The write deadline is a bound, not a precise timer: a hung peer must
+// fail the write within the call timeout (or clientWriteTimeout without
+// one), and anywhere inside that bound is correct. So it is re-armed
+// lazily at half horizon and rides across sends — a stuck write dies
+// between half the bound and the full bound after it starts, and the
+// hot path almost never touches the runtime timer.
+func (c *Client) send(pc *pendingCall) error {
+	d := clientWriteTimeout
+	if c.timeout > 0 && c.timeout < d {
+		d = c.timeout
+	}
+	if now := time.Now(); c.wdeadline.Sub(now) < d/2 {
+		c.wdeadline = now.Add(d)
+		_ = c.conn.SetWriteDeadline(c.wdeadline)
+	}
+	err := c.enc.Encode(&pc.req)
+	if rem := c.wq.Add(-1); err == nil && (rem == 0 || c.timeout > 0) {
+		err = c.bw.Flush()
+	}
+	<-c.wtoken
+	return err
+}
+
+// lead decodes responses while holding the read token, dispatching each
+// to the call wearing its tag, until pc completes or the stream dies.
+// With no deadline an idle read blocks until the server speaks; Close
+// unblocks it by closing the conn (conndeadline's idle-loop exemption
+// knows this). With a per-call timeout the leader cannot select on its
+// timer while blocked in Decode, so it arms the connection's read
+// deadline with its own call's expiry instead: a deadline-failed read
+// poisons the client exactly as expire would have — a call timeout always
+// poisons, so trading the wrecked gob stream for a dead conn loses
+// nothing. Each leader re-arms on taking the token, so the deadline in
+// force is always the current leader's.
+func (c *Client) lead(pc *pendingCall, deadline time.Time) {
+	if !deadline.IsZero() {
+		_ = c.conn.SetReadDeadline(deadline)
+	}
+	for {
+		select {
+		case <-pc.done:
+			return
+		default:
+		}
+		var resp response
+		if err := c.dec.Decode(&resp); err != nil {
+			var nerr net.Error
+			switch {
+			case errors.As(err, &nerr) && nerr.Timeout():
+				err = fmt.Errorf("poisoned by call timeout: %w", os.ErrDeadlineExceeded)
+			case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+				err = fmt.Errorf("server closed: %w", err)
+			default:
+				err = fmt.Errorf("recv response: %w", err)
+			}
+			c.fail(err)
+			return
+		}
+		c.dispatch(&resp)
+	}
+}
+
+// dispatch delivers a decoded response to its pending call. Responses
+// whose call has been abandoned are dropped.
+func (c *Client) dispatch(resp *response) {
+	c.pmu.Lock()
+	pc := c.pending[resp.ID]
+	delete(c.pending, resp.ID)
+	c.pmu.Unlock()
+	if pc == nil {
+		return
+	}
+	pc.resp = *resp
+	close(pc.done)
+}
+
+// fail poisons the client with err: every pending call fails now, future
+// calls fail fast, and the connection is closed (unhanging any reader and
+// any in-progress write). Only the first error sticks; later calls keep
+// reporting it.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	err = c.broken
+	stranded := make([]*pendingCall, 0, len(c.pending))
+	for id, pc := range c.pending {
+		delete(c.pending, id)
+		stranded = append(stranded, pc)
+	}
+	c.pmu.Unlock()
+	for _, pc := range stranded {
+		pc.err = err
+		close(pc.done)
+	}
+	_ = c.conn.Close()
+}
+
+// reqLabel describes a request for error messages. Only failure paths pay
+// for the formatting — building the label eagerly would tax every call on
+// the wire's hot path.
+func reqLabel(req *request) string {
+	switch {
+	case req.Routes:
+		return "routes"
+	case req.Paths != nil:
+		return fmt.Sprintf("resolve batch of %d", len(req.Paths))
+	default:
+		return fmt.Sprintf("resolve %q", strings.Join(req.Path, core.Separator))
+	}
+}
+
+// call runs one tagged round-trip: register the call in the pending
+// table, write the request ourselves under the write token, then wait for
+// a reader to deliver the response wearing its tag — becoming that reader
+// when no one else is leading. With a timeout configured the call is
+// bounded everywhere: a timer covers the waits the caller can select on,
+// and the connection's read deadline covers the leader's blocking decode
+// (see lead and WithTimeout).
+func (c *Client) call(req request) (response, error) {
+	pc := &pendingCall{req: req, done: make(chan struct{})}
+	c.pmu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.pmu.Unlock()
+		return response{}, fmt.Errorf("%s: %w", reqLabel(&pc.req), err)
+	}
+	c.nextID++
+	pc.req.ID = c.nextID
+	c.pending[pc.req.ID] = pc
+	c.pmu.Unlock()
+
+	// The timer is created lazily, on the first wait that actually needs
+	// to select on it: the uncontended paths — write token free, caller
+	// leads its own read — never do, and the serial case skips the
+	// allocation entirely.
+	var deadline time.Time
+	var timer *time.Timer
+	var timeoutC <-chan time.Time
+	if c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+	}
+	arm := func() {
+		if timer == nil && c.timeout > 0 {
+			timer = time.NewTimer(time.Until(deadline))
+			timeoutC = timer.C
+		}
+	}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	c.wq.Add(1)
+	select {
+	case c.wtoken <- struct{}{}:
+		// Uncontended fast path: the token was free.
+	default:
+		if c.timeout == 0 {
+			// Token holders always release within the write bound, so a
+			// plain send cannot hang; failure surfaces when our write runs.
+			c.wtoken <- struct{}{}
+		} else {
+			arm()
+			select {
+			case c.wtoken <- struct{}{}:
+			case <-pc.done:
+				// The client failed before we could write.
+				c.wq.Add(-1)
+				return c.finish(pc)
+			case <-timeoutC:
+				c.wq.Add(-1)
+				return c.expire(pc)
+			}
+		}
+	}
+	if err := c.send(pc); err != nil {
+		c.fail(fmt.Errorf("send request: %w", err))
+		return c.finish(pc)
+	}
+
+	// Fast path: the read token is usually free in the serial case — lead
+	// immediately. lead only returns once our call has completed.
+	select {
+	case c.rtoken <- struct{}{}:
+		c.lead(pc, deadline)
+		<-c.rtoken
+		return c.finish(pc)
+	default:
+	}
+	if c.timeout == 0 {
+		for {
+			select {
+			case <-pc.done:
+				return c.finish(pc)
+			case c.rtoken <- struct{}{}:
+				c.lead(pc, deadline)
+				<-c.rtoken
+				return c.finish(pc)
+			}
+		}
+	}
+	arm()
+	for {
+		select {
+		case <-pc.done:
+			return c.finish(pc)
+		case c.rtoken <- struct{}{}:
+			c.lead(pc, deadline)
+			<-c.rtoken
+			return c.finish(pc)
+		case <-timeoutC:
+			return c.expire(pc)
+		}
+	}
+}
+
+// finish unpacks a delivered call.
+func (c *Client) finish(pc *pendingCall) (response, error) {
+	if pc.err != nil {
+		return response{}, fmt.Errorf("%s: %w", reqLabel(&pc.req), pc.err)
+	}
+	return pc.resp, nil
+}
+
+// expire abandons pc after its per-call timer fired. If the response beat
+// the timer and is mid-delivery, the race is conceded to the reader — the
+// response wins and the client stays healthy. Otherwise the call fails
+// with a timeout and the client is poisoned: the wire may still owe us
+// the late response, so the stream's pipeline depth is no longer known
+// and the only safe sequel is a fresh connection.
+func (c *Client) expire(pc *pendingCall) (response, error) {
+	c.pmu.Lock()
+	_, waiting := c.pending[pc.req.ID]
+	if waiting {
+		delete(c.pending, pc.req.ID)
+		if c.broken == nil {
+			c.broken = fmt.Errorf("poisoned by call timeout: %w", os.ErrDeadlineExceeded)
+		}
+	}
+	c.pmu.Unlock()
+	if !waiting {
+		// The reader (or fail) already took the call out of the table and
+		// owns closing done; wait for its verdict.
+		<-pc.done
+		return c.finish(pc)
+	}
+	return response{}, fmt.Errorf("%s: %w", reqLabel(&pc.req), os.ErrDeadlineExceeded)
+}
+
+// admitRevision applies the coherent-cache rule to a response's revision
+// and reports whether entities from that response may be cached. Callers
+// hold c.mu.
+//
+// With responses completing out of order, "purge when the revision
+// changes" alone is no longer sound: a slow pre-bump response could land
+// after the purge and re-insert a stale entity. The invariant is instead
+// anchored to the newest revision ever seen (c.rev): a response strictly
+// ahead purges and advances, a response at c.rev may fill, and a response
+// strictly behind must neither purge nor fill. Every cached entry is then
+// vouched for at exactly c.rev, and staleness stays bounded by one
+// round-trip — the first response resolved after a server-side bump
+// carries the advanced revision and evicts everything older, while late
+// pre-bump stragglers are served to their caller but never cached.
+func (c *Client) admitRevision(rev uint64) bool {
+	if !c.coherent {
+		return true
+	}
+	if rev > c.rev {
+		// The exported graph changed since our entries were fetched:
+		// purge before trusting anything new.
+		if c.cache.Len() > 0 {
+			c.cache.Clear()
+			c.purges++
+		}
+		c.rev = rev
+	}
+	return rev == c.rev
+}
+
+// Resolve resolves the compound name at the server (or the cache). Names
+// that are not wire-canonical fail client-side with ErrNotCanonical
+// before anything crosses the wire.
+func (c *Client) Resolve(p core.Path) (core.Entity, error) {
+	raw, err := CanonicalWirePath(p)
+	if err != nil {
+		return core.Undefined, err
+	}
+	var key string
+	if c.cache != nil {
+		key = p.String()
+		c.mu.Lock()
+		if e, ok := c.cache.Get(key); ok {
+			c.hits++
+			c.mu.Unlock()
+			return e, nil
+		}
+		c.mu.Unlock()
+	}
+
+	req := request{Path: raw}
+	resp, err := c.call(req)
+	if err != nil {
+		return core.Undefined, err
+	}
+	if resp.Err != "" {
+		// The server did answer, so its revision counts (and may purge),
+		// but a failed resolution satisfied nothing: not a miss.
+		c.mu.Lock()
+		c.admitRevision(resp.Rev)
+		c.mu.Unlock()
+		return core.Undefined, &RemoteError{Msg: resp.Err}
+	}
+	e := core.Entity{ID: core.EntityID(resp.Ent), Kind: core.Kind(resp.Kind)}
+	c.mu.Lock()
+	// Count the miss only now that the uncached resolution succeeded; a
+	// transport or remote failure is not a cache miss served.
+	c.misses++
+	if c.admitRevision(resp.Rev) && c.cache != nil {
+		c.cache.Put(key, e)
+	}
+	c.mu.Unlock()
+	return e, nil
+}
+
+// ResolveRev resolves p at the server, bypassing the client's own cache,
+// and returns the binding revision the response carried. Cluster clients
+// use it to drive a revision-tracked cache that spans many connections.
+func (c *Client) ResolveRev(p core.Path) (core.Entity, uint64, error) {
+	raw, err := CanonicalWirePath(p)
+	if err != nil {
+		return core.Undefined, 0, err
+	}
+	req := request{Path: raw}
+	resp, err := c.call(req)
+	if err != nil {
+		return core.Undefined, 0, err
+	}
+	if resp.Err != "" {
+		return core.Undefined, resp.Rev, &RemoteError{Msg: resp.Err}
+	}
+	return core.Entity{ID: core.EntityID(resp.Ent), Kind: core.Kind(resp.Kind)}, resp.Rev, nil
+}
+
+// ResolveBatchRev resolves every path in one round-trip, bypassing the
+// client's own cache, and returns the batch's binding revision. Results
+// are in argument order; per-name failures are in the results.
+func (c *Client) ResolveBatchRev(paths []core.Path) ([]BatchResult, uint64, error) {
+	raws, err := canonicalWirePaths(paths)
+	if err != nil {
+		return nil, 0, err
+	}
+	req := request{Paths: raws}
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resp.Results) != len(paths) {
+		return nil, 0, fmt.Errorf("resolve batch: got %d results for %d paths", len(resp.Results), len(paths))
+	}
+	out := make([]BatchResult, len(paths))
+	for k, res := range resp.Results {
+		if res.Err != "" {
+			out[k] = BatchResult{Entity: core.Undefined, Err: &RemoteError{Msg: res.Err}}
+			continue
+		}
+		out[k] = BatchResult{Entity: core.Entity{ID: core.EntityID(res.ID), Kind: core.Kind(res.Kind)}}
+	}
+	return out, resp.Rev, nil
+}
+
+// BatchResult is one outcome of a batched resolution.
+type BatchResult struct {
+	// Entity is the resolved entity (Undefined on failure).
+	Entity core.Entity
+	// Err is the per-name failure (*RemoteError), nil on success.
+	Err error
+}
+
+// ResolveBatch resolves every path in one round-trip (cache hits are
+// answered locally; duplicates cross the wire once). Results are in
+// argument order. The returned error reports a transport failure; per-name
+// resolution failures are in the results.
+func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
+	out := make([]BatchResult, len(paths))
+	if len(paths) == 0 {
+		return out, nil
+	}
+
+	// Answer what we can from the cache; collect the rest, deduplicated.
+	// Non-canonical names fail in their result slot before touching the
+	// cache or the wire — a bad name must not become a cache key.
+	need := make(map[string][]int)
+	var order []string
+	c.mu.Lock()
+	for i, p := range paths {
+		if err := checkWireCanonical(p); err != nil {
+			out[i] = BatchResult{Entity: core.Undefined, Err: err}
+			continue
+		}
+		key := p.String()
+		if c.cache != nil {
+			if e, ok := c.cache.Get(key); ok {
+				c.hits++
+				out[i] = BatchResult{Entity: e}
+				continue
+			}
+		}
+		if _, seen := need[key]; !seen {
+			order = append(order, key)
+		}
+		need[key] = append(need[key], i)
+	}
+	c.mu.Unlock()
+	if len(order) == 0 {
+		return out, nil
+	}
+
+	req := request{Paths: make([][]string, len(order))}
+	for k, key := range order {
+		// Already validated above; the error cannot recur.
+		raw, _ := CanonicalWirePath(paths[need[key][0]])
+		req.Paths[k] = raw
+	}
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(order) {
+		return nil, fmt.Errorf("resolve batch: got %d results for %d paths", len(resp.Results), len(order))
+	}
+	c.mu.Lock()
+	fresh := c.admitRevision(resp.Rev)
+	for k, res := range resp.Results {
+		var br BatchResult
+		if res.Err != "" {
+			br = BatchResult{Entity: core.Undefined, Err: &RemoteError{Msg: res.Err}}
+		} else {
+			br = BatchResult{Entity: core.Entity{ID: core.EntityID(res.ID), Kind: core.Kind(res.Kind)}}
+			if fresh && c.cache != nil {
+				c.cache.Put(order[k], br.Entity)
+			}
+		}
+		for _, i := range need[order[k]] {
+			out[i] = br
+			if res.Err == "" {
+				// Misses count per slot (duplicates included) and only for
+				// slots an uncached resolution actually satisfied.
+				c.misses++
+			}
+		}
+	}
+	c.mu.Unlock()
+	return out, nil
+}
+
+// Routes fetches the routing table of a sharded deployment from the
+// server. Servers outside a cluster answer with a RemoteError.
+func (c *Client) Routes() (*RouteInfo, error) {
+	resp, err := c.call(request{Routes: true})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	if resp.Routes == nil {
+		return nil, &RemoteError{Msg: "empty routing table"}
+	}
+	return resp.Routes, nil
+}
+
+// Stats returns cache hits and misses so far.
+func (c *Client) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purges returns how many times the coherent cache has been invalidated.
+func (c *Client) Purges() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.purges
+}
+
+// Close fails every in-flight and future call with ErrClientClosed and
+// closes the connection, which also unblocks any caller leading a read.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.fail(ErrClientClosed)
+	})
+	return nil
+}

@@ -26,7 +26,7 @@ func stallServer(t *testing.T, conn net.Conn, n int, release <-chan struct{}) {
 			if dec.Decode(&req) != nil {
 				return
 			}
-			if enc.Encode(response{ID: uint64(k + 1), Kind: 1, Rev: 1}) != nil {
+			if enc.Encode(response{ID: req.ID, Ent: uint64(k + 1), Kind: 1, Rev: 1}) != nil {
 				return
 			}
 		}

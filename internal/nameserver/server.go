@@ -1,16 +1,15 @@
 package nameserver
 
 import (
+	"bufio"
 	"encoding/gob"
-	"errors"
-	"fmt"
-	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"namecoherence/internal/core"
-	"namecoherence/internal/lru"
 )
 
 // Clone returns an independent copy.
@@ -51,10 +50,21 @@ func (r *RouteInfo) ShardFor(p core.Path) int {
 	return r.Default
 }
 
-// Server resolves names in an exported context on behalf of remote clients.
+// serveWriteTimeout bounds each response write so a stalled peer cannot
+// pin a server goroutine forever.
+const serveWriteTimeout = time.Minute
+
+// Server resolves names in an exported context on behalf of remote
+// clients. Each connection is served by a leader/followers pool of
+// resolver goroutines — whoever holds the decode token reads the next
+// request, hands the token on, and resolves what it read — so one
+// connection can carry many requests in flight; responses are written as
+// resolutions complete, each tagged with the ID of the request it
+// answers.
 type Server struct {
-	world  *core.World
-	export core.Context
+	world   *core.World
+	export  core.Context
+	workers int // per-connection resolver pool size; immutable after NewServer
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -67,9 +77,39 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// ServerOption configures a Server.
+type ServerOption interface {
+	apply(*Server)
+}
+
+type workersOption int
+
+func (o workersOption) apply(s *Server) {
+	if int(o) > 0 {
+		s.workers = int(o)
+	}
+}
+
+// WithWorkers bounds how many requests one connection resolves
+// concurrently (default: GOMAXPROCS). Decoding stalls once every worker
+// is mid-resolution, so a single connection cannot occupy more than n
+// resolver goroutines no matter how deep the client pipelines.
+func WithWorkers(n int) ServerOption {
+	return workersOption(n)
+}
+
 // NewServer returns a server exporting the given context of world.
-func NewServer(w *core.World, export core.Context) *Server {
-	return &Server{world: w, export: export, conns: make(map[net.Conn]struct{})}
+func NewServer(w *core.World, export core.Context, opts ...ServerOption) *Server {
+	s := &Server{
+		world:   w,
+		export:  export,
+		workers: runtime.GOMAXPROCS(0),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Close is called, serving each
@@ -104,8 +144,38 @@ func (s *Server) Serve(ln net.Listener) {
 	}
 }
 
-// ServeConn serves one connection until EOF or error, then closes it.
-// It may be called directly (e.g. with one end of a net.Pipe).
+// connState bundles the wire state one connection's worker pool shares.
+// The decoder is guarded by dtoken and the encoder by wtoken — capacity-1
+// token channels rather than mutexes, because encoding to the peer is
+// wire I/O and no sync.Mutex may be held across wire I/O (lockheld).
+type connState struct {
+	conn      net.Conn
+	dec       *gob.Decoder  // guarded by dtoken
+	bw        *bufio.Writer // guarded by wtoken
+	enc       *gob.Encoder  // guarded by wtoken
+	dtoken    chan struct{} // capacity 1; held by the worker currently decoding
+	wtoken    chan struct{} // capacity 1; held while encoding and flushing
+	wq        atomic.Int32  // declared write intents; >0 after our encode elides our flush
+	wdeadline time.Time     // armed write deadline; guarded by wtoken
+	deadOnce  sync.Once
+}
+
+// die marks the stream unusable: the conn closes, failing any in-progress
+// read or write, and each worker's next decode errors out — the decode
+// token keeps circulating through the failing decodes, so the whole pool
+// drains.
+func (st *connState) die() {
+	st.deadOnce.Do(func() {
+		_ = st.conn.Close()
+	})
+}
+
+// ServeConn serves one connection until EOF or error, then closes it. It
+// may be called directly (e.g. with one end of a net.Pipe).
+//
+// Requests are decoded in arrival order but resolved concurrently by up
+// to s.workers goroutines, so responses can be written out of request
+// order; each echoes its request's ID so the client can pair them up.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer func() {
 		_ = conn.Close()
@@ -113,16 +183,46 @@ func (s *Server) ServeConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	st := &connState{
+		conn:   conn,
+		dec:    gob.NewDecoder(bufio.NewReader(conn)),
+		bw:     bufio.NewWriter(conn),
+		dtoken: make(chan struct{}, 1),
+		wtoken: make(chan struct{}, 1),
+	}
+	st.enc = gob.NewEncoder(st.bw)
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveRequests(st)
+		}()
+	}
+	wg.Wait()
+}
+
+// serveRequests is one worker in a connection's leader/followers pool:
+// whoever holds the decode token reads the next request, releases the
+// token so another worker can read the one after, then resolves and
+// writes the response itself. Decoding and encoding each stay
+// single-streamed while up to s.workers resolutions run concurrently —
+// and a serial client's request runs decode→resolve→encode on one
+// goroutine with no handoffs at all.
+func (s *Server) serveRequests(st *connState) {
 	for {
+		st.dtoken <- struct{}{}
 		var req request
 		// An idle read blocks until the peer speaks; Close unblocks it by
 		// closing the conn (conndeadline's idle-loop exemption knows this).
-		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken peer
+		err := st.dec.Decode(&req)
+		<-st.dtoken
+		if err != nil {
+			st.die() // EOF or broken peer; drain the rest of the pool
+			return
 		}
 		resp := s.handle(req)
+		resp.ID = req.ID
 		names := len(req.Paths)
 		if req.Paths == nil && !req.Routes {
 			names = 1
@@ -131,11 +231,36 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.served++
 		s.resolved += names
 		s.mu.Unlock()
-		_ = conn.SetWriteDeadline(time.Now().Add(serveWriteTimeout))
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-		_ = conn.SetWriteDeadline(time.Time{})
+		s.respond(st, &resp)
+	}
+}
+
+// respond writes one response under the connection's write token. The
+// flush is elided when another worker has already declared a write
+// intent — workers never abandon a declared intent, so that worker's own
+// flush is guaranteed to carry our bytes and a burst of pipelined
+// responses rides one syscall.
+func (s *Server) respond(st *connState, resp *response) {
+	st.wq.Add(1)
+	st.wtoken <- struct{}{}
+	now := time.Now()
+	if st.wdeadline.Sub(now) < serveWriteTimeout/2 {
+		// The write bound is a liveness backstop, not a precise timer, so
+		// re-arm it lazily at half horizon and let it ride across writes.
+		st.wdeadline = now.Add(serveWriteTimeout)
+		_ = st.conn.SetWriteDeadline(st.wdeadline)
+	}
+	err := st.enc.Encode(resp)
+	if rem := st.wq.Add(-1); err == nil && rem == 0 {
+		// Flush at the message boundary: gob alone issues several small
+		// writes per message, each a syscall on a real conn.
+		err = st.bw.Flush()
+	}
+	<-st.wtoken
+	if err != nil {
+		// The stream died mid-message; kill the conn so the decoders stop
+		// instead of queueing answers nobody will read.
+		st.die()
 	}
 }
 
@@ -163,7 +288,7 @@ func (s *Server) handle(req request) response {
 		rev := s.withStableRevision(func() {
 			res = s.resolveOne(req.Path)
 		})
-		return response{ID: res.ID, Kind: res.Kind, Rev: rev, Err: res.Err}
+		return response{Ent: res.ID, Kind: res.Kind, Rev: rev, Err: res.Err}
 	}
 }
 
@@ -277,381 +402,4 @@ func (s *Server) Close() {
 		_ = ln.Close()
 	}
 	s.wg.Wait()
-}
-
-// RemoteError is a resolution failure reported by the server.
-type RemoteError struct {
-	// Msg is the server-side error message.
-	Msg string
-}
-
-// Error implements error.
-func (e *RemoteError) Error() string { return "remote: " + e.Msg }
-
-// Client is a connection to a name server with an optional resolution
-// cache. Client is safe for concurrent use; requests are serialized on the
-// connection by the wire token, while the cache and counters live under
-// their own short-section mutex — so Stats and cache bookkeeping never
-// wait behind a slow or hung server (lockheld: no mutex is held across
-// wire I/O).
-type Client struct {
-	conn    net.Conn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	timeout time.Duration // immutable after the options run
-
-	// wire is a capacity-1 token serializing round-trips on the shared
-	// gob stream. Responses are applied (noteRevision, cache fills) before
-	// the token is released, so they land in response order: a stale
-	// entity can never be cached after a newer revision purged it.
-	wire chan struct{}
-
-	mu       sync.Mutex // guards the fields below; never held across I/O
-	cache    *lru.Cache[string, core.Entity]
-	coherent bool
-	rev      uint64
-	hits     int
-	misses   int
-	purges   int
-}
-
-// ClientOption configures a Client.
-type ClientOption interface {
-	apply(*Client)
-}
-
-type cacheOption int
-
-func (o cacheOption) apply(c *Client) {
-	c.cache = lru.New[string, core.Entity](int(o))
-}
-
-// WithCache enables a client-side LRU resolution cache of at most n
-// entries. The cache is never invalidated; it models the
-// (coherence-agnostic) name caches common in directory services.
-func WithCache(n int) ClientOption {
-	return cacheOption(n)
-}
-
-type coherentCacheOption int
-
-func (o coherentCacheOption) apply(c *Client) {
-	c.cache = lru.New[string, core.Entity](int(o))
-	c.coherent = true
-}
-
-// WithCoherentCache enables a revision-tracked LRU cache of at most n
-// entries: every response carries the server's binding revision, and when
-// it advances the whole cache is purged before the new entry is stored.
-// Cache staleness is thus bounded by one round-trip after a server-side
-// change (pair with Server.WatchExport for automatic bumping).
-func WithCoherentCache(n int) ClientOption {
-	return coherentCacheOption(n)
-}
-
-type timeoutOption time.Duration
-
-func (o timeoutOption) apply(c *Client) { c.timeout = time.Duration(o) }
-
-// WithTimeout bounds every round-trip: the connection deadline is set d
-// into the future before each request and cleared after the response. A
-// request against a hung server then fails with a timeout instead of
-// blocking forever; the timeout is a transport error, so the connection
-// must be discarded afterwards (the gob stream is mid-message).
-func WithTimeout(d time.Duration) ClientOption {
-	return timeoutOption(d)
-}
-
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn, opts ...ClientOption) *Client {
-	c := &Client{
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
-		wire: make(chan struct{}, 1),
-	}
-	for _, o := range opts {
-		o.apply(c)
-	}
-	return c
-}
-
-// defaultDialTimeout bounds Dial's connection attempt. A raw net.Dial is
-// unbounded (conndeadline); callers wanting a different bound use
-// DialTimeout.
-const defaultDialTimeout = 10 * time.Second
-
-// serveWriteTimeout bounds each response write so a stalled peer cannot
-// pin a server goroutine forever.
-const serveWriteTimeout = time.Minute
-
-// Dial connects to a server listening at addr. The connection attempt is
-// bounded by a default timeout.
-func Dial(network, addr string, opts ...ClientOption) (*Client, error) {
-	return DialTimeout(network, addr, defaultDialTimeout, opts...)
-}
-
-// DialTimeout is Dial with a bound on the connection attempt itself.
-func DialTimeout(network, addr string, timeout time.Duration, opts ...ClientOption) (*Client, error) {
-	conn, err := net.DialTimeout(network, addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("dial name server: %w", err)
-	}
-	return NewClient(conn, opts...), nil
-}
-
-// beginWire acquires the round-trip token; endWire releases it. Apply a
-// response's revision and cache fills before endWire, so applications
-// happen in response order.
-func (c *Client) beginWire() { c.wire <- struct{}{} }
-func (c *Client) endWire()   { <-c.wire }
-
-// roundTrip sends one request and decodes the response, under the client's
-// per-request deadline if one is set. Callers hold the wire token.
-func (c *Client) roundTrip(req request, what string) (response, error) {
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return response{}, fmt.Errorf("deadline %s: %w", what, err)
-		}
-		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
-	}
-	if err := c.enc.Encode(req); err != nil {
-		return response{}, fmt.Errorf("send %s: %w", what, err)
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return response{}, fmt.Errorf("%s: server closed: %w", what, err)
-		}
-		return response{}, fmt.Errorf("recv %s: %w", what, err)
-	}
-	return resp, nil
-}
-
-// noteRevision applies the coherent-cache purge rule for a response
-// revision. Callers hold c.mu.
-func (c *Client) noteRevision(rev uint64) {
-	if !c.coherent || rev == c.rev {
-		return
-	}
-	// The exported graph changed since our entries were fetched:
-	// purge before trusting anything new.
-	if c.cache.Len() > 0 {
-		c.cache.Clear()
-		c.purges++
-	}
-	c.rev = rev
-}
-
-// Resolve resolves the compound name at the server (or the cache). Names
-// that are not wire-canonical fail client-side with ErrNotCanonical
-// before anything crosses the wire.
-func (c *Client) Resolve(p core.Path) (core.Entity, error) {
-	raw, err := CanonicalWirePath(p)
-	if err != nil {
-		return core.Undefined, err
-	}
-	key := p.String()
-	c.mu.Lock()
-	if c.cache != nil {
-		if e, ok := c.cache.Get(key); ok {
-			c.hits++
-			c.mu.Unlock()
-			return e, nil
-		}
-	}
-	c.misses++
-	c.mu.Unlock()
-
-	req := request{Path: raw}
-	c.beginWire()
-	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
-	if err != nil {
-		c.endWire()
-		return core.Undefined, err
-	}
-	e := core.Entity{ID: core.EntityID(resp.ID), Kind: core.Kind(resp.Kind)}
-	c.mu.Lock()
-	c.noteRevision(resp.Rev)
-	if resp.Err == "" && c.cache != nil {
-		c.cache.Put(key, e)
-	}
-	c.mu.Unlock()
-	c.endWire()
-	if resp.Err != "" {
-		return core.Undefined, &RemoteError{Msg: resp.Err}
-	}
-	return e, nil
-}
-
-// ResolveRev resolves p at the server, bypassing the client's own cache,
-// and returns the binding revision the response carried. Cluster clients
-// use it to drive a revision-tracked cache that spans many connections.
-func (c *Client) ResolveRev(p core.Path) (core.Entity, uint64, error) {
-	raw, err := CanonicalWirePath(p)
-	if err != nil {
-		return core.Undefined, 0, err
-	}
-	req := request{Path: raw}
-	c.beginWire()
-	defer c.endWire()
-	resp, err := c.roundTrip(req, fmt.Sprintf("resolve %q", p))
-	if err != nil {
-		return core.Undefined, 0, err
-	}
-	if resp.Err != "" {
-		return core.Undefined, resp.Rev, &RemoteError{Msg: resp.Err}
-	}
-	return core.Entity{ID: core.EntityID(resp.ID), Kind: core.Kind(resp.Kind)}, resp.Rev, nil
-}
-
-// ResolveBatchRev resolves every path in one round-trip, bypassing the
-// client's own cache, and returns the batch's binding revision. Results
-// are in argument order; per-name failures are in the results.
-func (c *Client) ResolveBatchRev(paths []core.Path) ([]BatchResult, uint64, error) {
-	raws, err := canonicalWirePaths(paths)
-	if err != nil {
-		return nil, 0, err
-	}
-	req := request{Paths: raws}
-	c.beginWire()
-	defer c.endWire()
-	resp, err := c.roundTrip(req, fmt.Sprintf("resolve batch of %d", len(paths)))
-	if err != nil {
-		return nil, 0, err
-	}
-	if len(resp.Results) != len(paths) {
-		return nil, 0, fmt.Errorf("resolve batch: got %d results for %d paths", len(resp.Results), len(paths))
-	}
-	out := make([]BatchResult, len(paths))
-	for k, res := range resp.Results {
-		if res.Err != "" {
-			out[k] = BatchResult{Entity: core.Undefined, Err: &RemoteError{Msg: res.Err}}
-			continue
-		}
-		out[k] = BatchResult{Entity: core.Entity{ID: core.EntityID(res.ID), Kind: core.Kind(res.Kind)}}
-	}
-	return out, resp.Rev, nil
-}
-
-// BatchResult is one outcome of a batched resolution.
-type BatchResult struct {
-	// Entity is the resolved entity (Undefined on failure).
-	Entity core.Entity
-	// Err is the per-name failure (*RemoteError), nil on success.
-	Err error
-}
-
-// ResolveBatch resolves every path in one round-trip (cache hits are
-// answered locally; duplicates cross the wire once). Results are in
-// argument order. The returned error reports a transport failure; per-name
-// resolution failures are in the results.
-func (c *Client) ResolveBatch(paths []core.Path) ([]BatchResult, error) {
-	out := make([]BatchResult, len(paths))
-	if len(paths) == 0 {
-		return out, nil
-	}
-
-	// Answer what we can from the cache; collect the rest, deduplicated.
-	// Non-canonical names fail in their result slot before touching the
-	// cache or the wire — a bad name must not become a cache key.
-	need := make(map[string][]int)
-	var order []string
-	c.mu.Lock()
-	for i, p := range paths {
-		if err := checkWireCanonical(p); err != nil {
-			out[i] = BatchResult{Entity: core.Undefined, Err: err}
-			continue
-		}
-		key := p.String()
-		if c.cache != nil {
-			if e, ok := c.cache.Get(key); ok {
-				c.hits++
-				out[i] = BatchResult{Entity: e}
-				continue
-			}
-		}
-		c.misses++
-		if _, seen := need[key]; !seen {
-			order = append(order, key)
-		}
-		need[key] = append(need[key], i)
-	}
-	c.mu.Unlock()
-	if len(order) == 0 {
-		return out, nil
-	}
-
-	req := request{Paths: make([][]string, len(order))}
-	for k, key := range order {
-		// Already validated above; the error cannot recur.
-		raw, _ := CanonicalWirePath(paths[need[key][0]])
-		req.Paths[k] = raw
-	}
-	c.beginWire()
-	resp, err := c.roundTrip(req, fmt.Sprintf("resolve batch of %d", len(order)))
-	if err != nil {
-		c.endWire()
-		return nil, err
-	}
-	if len(resp.Results) != len(order) {
-		c.endWire()
-		return nil, fmt.Errorf("resolve batch: got %d results for %d paths", len(resp.Results), len(order))
-	}
-	c.mu.Lock()
-	c.noteRevision(resp.Rev)
-	for k, res := range resp.Results {
-		var br BatchResult
-		if res.Err != "" {
-			br = BatchResult{Entity: core.Undefined, Err: &RemoteError{Msg: res.Err}}
-		} else {
-			br = BatchResult{Entity: core.Entity{ID: core.EntityID(res.ID), Kind: core.Kind(res.Kind)}}
-			if c.cache != nil {
-				c.cache.Put(order[k], br.Entity)
-			}
-		}
-		for _, i := range need[order[k]] {
-			out[i] = br
-		}
-	}
-	c.mu.Unlock()
-	c.endWire()
-	return out, nil
-}
-
-// Routes fetches the routing table of a sharded deployment from the
-// server. Servers outside a cluster answer with a RemoteError.
-func (c *Client) Routes() (*RouteInfo, error) {
-	c.beginWire()
-	defer c.endWire()
-	resp, err := c.roundTrip(request{Routes: true}, "routes")
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Msg: resp.Err}
-	}
-	if resp.Routes == nil {
-		return nil, &RemoteError{Msg: "empty routing table"}
-	}
-	return resp.Routes, nil
-}
-
-// Stats returns cache hits and misses so far.
-func (c *Client) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}
-
-// Purges returns how many times the coherent cache has been invalidated.
-func (c *Client) Purges() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.purges
-}
-
-// Close closes the connection.
-func (c *Client) Close() error {
-	return c.conn.Close()
 }

@@ -2,16 +2,28 @@
 // connection is declared (and gob-registered) here, in one place, so the
 // protocol surface is auditable at a glance and the round-trip test in
 // wire_test.go cannot miss a type.
+//
+// The protocol is tagged and multiplexed: every request carries a
+// client-assigned ID, the server echoes it in the response, and neither
+// side assumes responses arrive in request order. N callers can therefore
+// share one connection with N requests in flight — the server resolves
+// them on a worker pool and writes answers as they complete.
 
 package nameserver
 
 import "encoding/gob"
 
-// request is one message from client to server. Exactly one of the three
-// request forms is used per message: a single resolve (Path), a batched
-// resolve (Paths — one round-trip resolves every element), or a routing
-// fetch (Routes — cluster clients bootstrap the shard map from any member).
+// request is one message from client to server. ID tags the request for
+// multiplexing; exactly one of the three request forms is used per
+// message: a single resolve (Path), a batched resolve (Paths — one
+// round-trip resolves every element), or a routing fetch (Routes —
+// cluster clients bootstrap the shard map from any member).
 type request struct {
+	// ID is the client-assigned pipelining tag, echoed verbatim in the
+	// response so the client can pair answers with in-flight calls.
+	// Clients assign IDs monotonically per connection; the server treats
+	// them as opaque.
+	ID uint64
 	// Path is the compound name, one component per element.
 	Path []string
 	// Paths, when non-nil, is a batch of compound names.
@@ -29,10 +41,13 @@ type result struct {
 	Err string
 }
 
-// response is the server's answer.
+// response is the server's answer. Responses may be written out of
+// request order; ID says which request each one answers.
 type response struct {
-	// ID and Kind identify the resolved entity (0 on failure).
-	ID   uint64
+	// ID echoes the request's pipelining tag.
+	ID uint64
+	// Ent and Kind identify the resolved entity (0 on failure).
+	Ent  uint64
 	Kind uint8
 	// Rev is the server's binding revision at answer time; coherent client
 	// caches purge stale entries when it advances. For a batch it covers

@@ -13,6 +13,7 @@ import (
 func populated() map[string]any {
 	return map[string]any{
 		"request": request{
+			ID:     11,
 			Path:   []string{"usr", "alice", "bin"},
 			Paths:  [][]string{{"a"}, {"b", "c"}},
 			Routes: true,
@@ -24,6 +25,7 @@ func populated() map[string]any {
 		},
 		"response": response{
 			ID:   7,
+			Ent:  12,
 			Kind: 1,
 			Rev:  99,
 			Err:  "boom",
