@@ -19,6 +19,7 @@ package main
 import (
 	"namecoherence/internal/analysis"
 	"namecoherence/internal/analysis/bindingsleak"
+	"namecoherence/internal/analysis/casimmut"
 	"namecoherence/internal/analysis/conndeadline"
 	"namecoherence/internal/analysis/detrand"
 	"namecoherence/internal/analysis/errwrap"
@@ -35,6 +36,7 @@ var suite = []*analysis.Analyzer{
 	errwrap.Analyzer,
 	bindingsleak.Analyzer,
 	detrand.Analyzer,
+	casimmut.Analyzer,
 	wirecanon.Analyzer,
 	goroleak.Analyzer,
 	registrycheck.Analyzer,

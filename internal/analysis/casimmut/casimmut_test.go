@@ -1,0 +1,12 @@
+package casimmut_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/casimmut"
+)
+
+func TestCasImmut(t *testing.T) {
+	analysistest.Run(t, casimmut.Analyzer, "cas")
+}

@@ -1,0 +1,70 @@
+// Package cas exercises casimmut's durability check: a file-writing Put
+// must fsync before reporting success. (The directory is named cas so
+// the testdata package path lands in the analyzer's scope.)
+package cas
+
+import "os"
+
+// Hash stands in for the real blob hash.
+type Hash [32]byte
+
+// mem retains the slice it is given — the reason callers must not write
+// into a blob after Put returns. No file I/O, so no durability finding.
+type mem struct{ m map[Hash][]byte }
+
+func (s *mem) Put(h Hash, data []byte) error {
+	s.m[h] = data
+	return nil
+}
+
+// unsynced writes the blob with os.WriteFile, which never fsyncs: the
+// blob can vanish in a crash after Put reported success.
+type unsynced struct{ dir string }
+
+func (b *unsynced) Put(h Hash, data []byte) error {
+	return os.WriteFile(b.dir, data, 0o666) // want `file-writing Put must reach fsync before success`
+}
+
+// synced is the canonical durable shape: write, fsync, then succeed.
+type synced struct{ dir string }
+
+func (b *synced) Put(h Hash, data []byte) error {
+	f, err := os.Create(b.dir)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// lateWrite fsyncs, then writes more: the tail bytes are not durable
+// when Put returns nil.
+type lateWrite struct{ dir string }
+
+func (b *lateWrite) Put(h Hash, data []byte) error {
+	f, err := os.Create(b.dir)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.WriteString("trailer"); err != nil { // want `write after the final fsync in Put`
+		return err
+	}
+	return f.Close()
+}
+
+// get is not a Put: unsynced file writes elsewhere are other analyzers'
+// business.
+func (b *synced) Touch(data []byte) error {
+	return os.WriteFile(b.dir, data, 0o666)
+}

@@ -1,0 +1,69 @@
+// Caller-side fixtures: a blob handed to Put is frozen until the
+// variable is rebound to a fresh slice.
+package cas
+
+func badIndexWrite(s *mem, data []byte) {
+	_ = s.Put(Hash{}, data)
+	data[0] = 'x' // want `index write into blob data after Put returned`
+}
+
+func badCopy(s *mem, data, other []byte) {
+	_ = s.Put(Hash{}, data)
+	copy(data, other) // want `copy into blob data after Put returned`
+}
+
+func badAppend(s *mem, data []byte) []byte {
+	_ = s.Put(Hash{}, data)
+	data = append(data, 'x') // want `append to blob data after Put returned`
+	return data
+}
+
+func badSliceWrite(s *mem, data []byte) {
+	_ = s.Put(Hash{}, data)
+	data[1:3][0] = 'x' // want `index write into blob data after Put returned`
+}
+
+// okWriteBefore: the freeze starts when Put returns, not before.
+func okWriteBefore(s *mem, data []byte) {
+	data[0] = 'x'
+	_ = s.Put(Hash{}, data)
+}
+
+// okRebind: a whole-variable rebinding yields a fresh, writable slice.
+func okRebind(s *mem, data []byte) {
+	_ = s.Put(Hash{}, data)
+	data = make([]byte, 8)
+	data[0] = 'x'
+}
+
+// okShadow: tracking is by object, not by name — the inner data is a
+// different variable.
+func okShadow(s *mem, data []byte) {
+	_ = s.Put(Hash{}, data)
+	{
+		data := make([]byte, 8)
+		data[0] = 'x'
+	}
+}
+
+// okRead: reading a frozen blob is fine; only writes are forbidden.
+func okRead(s *mem, data []byte) byte {
+	_ = s.Put(Hash{}, data)
+	return data[0]
+}
+
+// okOtherVar: freezing data says nothing about other slices.
+func okOtherVar(s *mem, data, scratch []byte) {
+	_ = s.Put(Hash{}, data)
+	scratch[0] = 'x'
+	copy(scratch, data)
+}
+
+// okUnrelatedPut: a Put method declared outside cas packages does not
+// freeze its arguments (exercised in the analyzer's unit tests via the
+// package-path scope; here every Put is in scope).
+func okAppendFresh(s *mem, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	_ = s.Put(Hash{}, data)
+	return append(out, 'x')
+}

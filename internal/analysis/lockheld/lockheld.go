@@ -116,7 +116,13 @@ func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
 			return "gob decode"
 		}
 	case "Read", "Write":
-		if recv != nil && analysis.HasMethods(recv.Type(), "Read", "Write", "SetDeadline") {
+		// os.File passes the conn duck test (it has SetDeadline for
+		// pipes), but a file write blocks for one disk flush, not for as
+		// long as a hung peer pleases — serializing a manifest rewrite
+		// under its store's lock is the intended pattern, and casimmut
+		// owns the durability side of file writes.
+		if recv != nil && analysis.HasMethods(recv.Type(), "Read", "Write", "SetDeadline") &&
+			!analysis.IsNamedType(recv.Type(), "os", "File") {
 			return "net.Conn " + fn.Name()
 		}
 	case "Sleep":

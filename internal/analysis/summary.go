@@ -257,7 +257,12 @@ func collectAtoms(pkg *Package, decl *ast.FuncDecl) *atoms {
 					a.ios = append(a.ios, ioAtom{node.Pos(), "gob decode", true})
 				}
 			case "Read", "Write":
-				if recv != nil && HasMethods(recv.Type(), "Read", "Write", "SetDeadline") {
+				// os.File passes the conn duck test (it has SetDeadline
+				// for pipes), but file I/O is a durability concern, not
+				// a transport one: casimmut guards it with the fsync
+				// rule, and a deadline on a disk file is meaningless.
+				if recv != nil && HasMethods(recv.Type(), "Read", "Write", "SetDeadline") &&
+					!IsNamedType(recv.Type(), "os", "File") {
 					a.ios = append(a.ios, ioAtom{node.Pos(), "conn " + strings.ToLower(callee.Name()), callee.Name() == "Read"})
 				}
 			}

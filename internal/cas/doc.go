@@ -1,0 +1,20 @@
+// Package cas is a content-addressed store of immutable blobs: every blob
+// is identified by the SHA-256 hash of its bytes, so a blob's name IS its
+// content. Identity-by-content is what makes the paper's weak coherence
+// structural one level up (internal/snapstore): replicas of the same
+// subtree serialize to the same blobs and therefore share one hash by
+// construction — agreement is a property of the store, not a protocol
+// promise.
+//
+// Backend is the placement seam (restic-style): Mem keeps blobs in a map
+// for tests and replica bring-up scratch space; Local keeps them in a
+// fanned-out directory with write-then-rename + fsync durability, so a
+// blob either exists whole or not at all — a crashed writer leaves only a
+// temp file that Verify and sweeps ignore. Store layers hashing, blob
+// verification, and dedup accounting over any Backend.
+//
+// Invariants (enforced by the casimmut analyzer):
+//   - a blob's bytes are never written after Put returns;
+//   - every Backend.Put that touches the filesystem reaches an fsync
+//     before reporting success.
+package cas

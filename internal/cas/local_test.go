@@ -1,0 +1,168 @@
+package cas
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLocalSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("durable")
+	h := Sum(data)
+	if err := l.Put(h, data); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handle over the same directory sees the blob.
+	l2, err := OpenLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l2.Get(h)
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("reopened Get = %q, %v", got, err)
+	}
+}
+
+func TestLocalCrashedPutLeavesNoBlob(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("simulated crash")
+	var tmpSeen string
+	l.PutHook = func(h Hash, tmp string) error {
+		tmpSeen = tmp
+		return boom
+	}
+	data := []byte("never published")
+	h := Sum(data)
+	if err := l.Put(h, data); !errors.Is(err, boom) {
+		t.Fatalf("Put err = %v, want crash", err)
+	}
+	if tmpSeen == "" {
+		t.Fatal("hook never ran")
+	}
+	// The blob must not be visible...
+	if ok, _ := l.Has(h); ok {
+		t.Fatal("crashed Put published a blob")
+	}
+	if _, err := l.Get(h); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after crash = %v", err)
+	}
+	// ...the temp file is left behind, as a real crash would...
+	if _, err := os.Stat(tmpSeen); err != nil {
+		t.Fatalf("temp file gone: %v", err)
+	}
+	// ...List ignores it, Verify reports nothing corrupt...
+	if err := l.List(func(h Hash) error {
+		t.Fatalf("List reported %s from a crashed put", h)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if corrupt, err := NewStore(l).Verify(); err != nil || len(corrupt) != 0 {
+		t.Fatalf("Verify = %v, %v", corrupt, err)
+	}
+	// ...and SweepTemps cleans it up.
+	l.PutHook = nil
+	n, err := l.SweepTemps()
+	if err != nil || n != 1 {
+		t.Fatalf("SweepTemps = %d, %v", n, err)
+	}
+	if _, err := os.Stat(tmpSeen); err == nil {
+		t.Fatal("temp survived sweep")
+	}
+	// The same blob can be published afterwards.
+	if err := l.Put(h, data); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := l.Has(h); !ok {
+		t.Fatal("blob missing after retry")
+	}
+}
+
+func TestLocalVerifyDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(l)
+	h, err := s.Put([]byte("pristine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes behind the store's back.
+	path := filepath.Join(dir, h.String()[:2], h.String())
+	if err := os.WriteFile(path, []byte("tampered"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	corrupt, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 1 || corrupt[0] != h {
+		t.Fatalf("corrupt = %v, want [%s]", corrupt, h)
+	}
+	if _, err := s.Get(h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of tampered blob = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLocalListIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Sum([]byte("real"))
+	if err := l.Put(h, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	// Drop junk into the tree: a stray file at the root and a non-hash
+	// name inside a bucket.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, h.String()[:2], "notes.txt"), []byte("hi"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var listed []Hash
+	if err := l.List(func(h Hash) error {
+		listed = append(listed, h)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0] != h {
+		t.Fatalf("listed %v, want just %s", listed, h)
+	}
+}
+
+func TestLocalFanOut(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("fan me out")
+	h := Sum(data)
+	if err := l.Put(h, data); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, h.String()[:2], h.String())
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("blob not at %s: %v", want, err)
+	}
+	if !strings.HasPrefix(filepath.Base(filepath.Dir(want)), h.String()[:2]) {
+		t.Fatal("bucket not derived from hash prefix")
+	}
+}

@@ -31,6 +31,11 @@ type Cluster struct {
 
 	routes *nameserver.RouteInfo
 
+	// catchUps and recovered are filled during construction (before any
+	// server goroutine starts) and immutable afterwards.
+	catchUps  []CatchUpStat
+	recovered []recoveredShard
+
 	mu        sync.Mutex
 	servers   [][]*nameserver.Server
 	listeners [][]*faultnet.Listener
@@ -42,8 +47,8 @@ type Cluster struct {
 // on its own TCP loopback listener. Every server watches its subtree (so
 // binding changes bump that shard's revision) and carries the cluster's
 // routing table for client bootstrap.
-func New(w *core.World, spec string, shards int) (*Cluster, error) {
-	return NewReplicated(w, spec, shards, 1)
+func New(w *core.World, spec string, shards int, opts ...Option) (*Cluster, error) {
+	return NewReplicated(w, spec, shards, 1, opts...)
 }
 
 // NewReplicated is New with replicas servers per shard. Each replica gets
@@ -52,7 +57,7 @@ func New(w *core.World, spec string, shards int) (*Cluster, error) {
 // listener wrapped in a fault injector (see Fault) so tests and
 // experiments can take replicas down deterministically. The routing table
 // lists every replica, so failover clients can try them all.
-func NewReplicated(w *core.World, spec string, shards, replicas int) (*Cluster, error) {
+func NewReplicated(w *core.World, spec string, shards, replicas int, opts ...Option) (*Cluster, error) {
 	plan, err := treespec.Split(spec, shards)
 	if err != nil {
 		return nil, err
@@ -60,9 +65,13 @@ func NewReplicated(w *core.World, spec string, shards, replicas int) (*Cluster, 
 	if replicas < 1 {
 		return nil, fmt.Errorf("replica count %d: need at least 1", replicas)
 	}
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
 	c := &Cluster{World: w, Plan: plan}
 	for i, shardSpec := range plan.Specs {
-		trees, err := treespec.BuildReplicas(shardSpec, w, fmt.Sprintf("shard%d", i), replicas)
+		trees, err := c.bringUpShard(&o, i, shardSpec, fmt.Sprintf("shard%d", i), replicas)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("build shard %d: %w", i, err)
@@ -78,6 +87,11 @@ func NewReplicated(w *core.World, spec string, shards, replicas int) (*Cluster, 
 		for r, tr := range trees {
 			srv := nameserver.NewServer(w, tr.RootContext())
 			srv.WatchExport(tr.Root)
+			if rev, ok := c.Recovered(i); ok {
+				// A restored shard resumes at its snapshot's revision so
+				// surviving clients never see the revision move backwards.
+				srv.SetRevision(rev)
+			}
 			ln, err := net.Listen("tcp", "127.0.0.1:0")
 			if err != nil {
 				c.Close()

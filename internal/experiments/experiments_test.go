@@ -298,13 +298,72 @@ func TestA3QualificationLevels(t *testing.T) {
 	}
 }
 
+// E16's headline claims: replicated subtrees dedup into one blob set
+// (ratio above the replica count would be even better, above 1 is the
+// contract), every life after the first recovers all shards, replicas
+// come up by catch-up, and store-restored replicas stay weakly coherent.
+func TestE16(t *testing.T) {
+	cfg := DefaultE16()
+	tb, err := E16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != cfg.Lives {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), cfg.Lives)
+	}
+	for i, row := range tb.Rows {
+		life := i + 1
+		var recovered, caughtUp, copied int
+		var dedup, weak float64
+		if _, err := fmtSscan(row[1], &recovered); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[2], &caughtUp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[3], &copied); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscan(row[6], &dedup); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscan(row[7], &weak); err != nil {
+			t.Fatal(err)
+		}
+		if dedup <= 1 {
+			t.Errorf("life %d: dedup ratio %v, want > 1 (replicated subtrees must share blobs)", life, dedup)
+		}
+		if weak != 1 {
+			t.Errorf("life %d: weak coherence %v, want 1.0", life, weak)
+		}
+		if row[8] != "yes" {
+			t.Errorf("life %d: replica roots disagree", life)
+		}
+		if life == 1 && recovered != 0 {
+			t.Errorf("life 1 recovered %d shards from an empty store", recovered)
+		}
+		if life > 1 {
+			if recovered != cfg.Shards {
+				t.Errorf("life %d recovered %d shards, want %d", life, recovered, cfg.Shards)
+			}
+			if caughtUp != cfg.Shards*(cfg.Replicas-1) {
+				t.Errorf("life %d caught up %d replicas, want %d",
+					life, caughtUp, cfg.Shards*(cfg.Replicas-1))
+			}
+			if copied == 0 {
+				t.Errorf("life %d catch-up copied no blobs", life)
+			}
+		}
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	tables, err := All()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 19 {
-		t.Fatalf("tables = %d, want 19", len(tables))
+	if len(tables) != 20 {
+		t.Fatalf("tables = %d, want 20", len(tables))
 	}
 	seen := make(map[string]bool)
 	for _, tb := range tables {

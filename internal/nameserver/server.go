@@ -349,6 +349,16 @@ func (s *Server) Revision() uint64 {
 	return s.rev
 }
 
+// SetRevision installs an absolute binding revision. Recovery uses it to
+// resume a restored shard at the revision its snapshot was committed
+// under, so clients that survived the restart see a revision no older
+// than the one they already observed.
+func (s *Server) SetRevision(rev uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rev = rev
+}
+
 // SetRoutes installs the routing table this server hands to clients that
 // ask (cluster members all carry the same table, so any member can
 // bootstrap a cluster client).

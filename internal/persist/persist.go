@@ -1,7 +1,11 @@
+// Package persist saves and loads whole worlds. Snapshots are framed with
+// the canonical encoding primitives from internal/snapstore — the same
+// uvarint/length-prefix framing the content-addressed node blobs use — so
+// the module has exactly one on-disk context encoding: a file state saved
+// here is byte-identical to the same state inside a snapstore blob.
 package persist
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -9,31 +13,35 @@ import (
 
 	"namecoherence/internal/core"
 	"namecoherence/internal/dirtree"
+	"namecoherence/internal/snapstore"
 )
 
 // ErrBadSnapshot is wrapped by load errors.
 var ErrBadSnapshot = errors.New("bad snapshot")
 
-// snapshot is the wire form of a world.
-type snapshot struct {
-	// Entities in ID order.
-	Entities []entityRec
-	// Groups maps group ids to member entity ids.
-	Groups map[uint64][]uint64
-}
+// worldMagic and worldVersion frame every world snapshot.
+const (
+	worldMagic   = 'W'
+	worldVersion = 1
+)
 
+// State discrimination tags, one per entityRec shape.
+const (
+	tagStateless = iota
+	tagContext
+	tagFile
+	tagOpaque
+)
+
+// entityRec is the decoded form of one entity record.
 type entityRec struct {
-	ID    uint64
-	Kind  uint8
-	Label string
-	// State discrimination: exactly one of the following is meaningful.
-	HasContext bool
-	Bindings   []bindingRec // when HasContext
-	HasFile    bool
-	Content    string     // when HasFile
-	Embedded   [][]string // when HasFile
-	// Opaque reports a state that could not be serialized.
-	Opaque bool
+	ID       uint64
+	Kind     uint8
+	Label    string
+	Tag      uint8
+	Bindings []bindingRec // when Tag == tagContext
+	Content  string       // when Tag == tagFile
+	Embedded []core.Path  // when Tag == tagFile
 }
 
 type bindingRec struct {
@@ -44,47 +52,69 @@ type bindingRec struct {
 
 // Save writes a snapshot of the world. It returns the number of entities
 // whose states were opaque (present in the world but not serializable).
+// The encoding is canonical: the same world always saves to the same
+// bytes — entities in ID order, bindings in name order, groups in order
+// of their first member.
 func Save(w *core.World, out io.Writer) (opaque int, err error) {
-	snap := snapshot{Groups: make(map[uint64][]uint64)}
-	for _, e := range w.Entities() {
-		rec := entityRec{ID: uint64(e.ID), Kind: uint8(e.Kind), Label: w.Label(e)}
+	buf := []byte{worldMagic, worldVersion}
+
+	entities := w.Entities()
+	buf = snapstore.AppendUvarint(buf, uint64(len(entities)))
+	groupIndex := make(map[core.GroupID]int)
+	var groups [][]uint64
+	for _, e := range entities {
+		buf = snapstore.AppendUvarint(buf, uint64(e.ID))
+		buf = append(buf, byte(e.Kind))
+		buf = snapstore.AppendString(buf, w.Label(e))
 		switch s := w.State(e).(type) {
 		case nil:
-			// stateless
+			buf = append(buf, tagStateless)
 		case *dirtree.FileData:
-			rec.HasFile = true
-			rec.Content = s.Content
-			for _, p := range s.Embedded {
-				comp := make([]string, len(p))
-				for i, n := range p {
-					comp[i] = string(n)
-				}
-				rec.Embedded = append(rec.Embedded, comp)
-			}
+			buf = append(buf, tagFile)
+			buf = snapstore.AppendFileState(buf, s.Content, s.Embedded)
 		default:
 			if ctx, ok := w.ContextOf(e); ok {
-				rec.HasContext = true
+				buf = append(buf, tagContext)
+				var bound []core.Name
 				for _, n := range ctx.Names() {
-					to := ctx.Lookup(n)
-					if to.IsUndefined() {
-						continue
+					if !ctx.Lookup(n).IsUndefined() {
+						bound = append(bound, n)
 					}
-					rec.Bindings = append(rec.Bindings, bindingRec{
-						Name: string(n), To: uint64(to.ID), Kind: uint8(to.Kind),
-					})
+				}
+				buf = snapstore.AppendUvarint(buf, uint64(len(bound)))
+				for _, n := range bound {
+					to := ctx.Lookup(n)
+					buf = snapstore.AppendString(buf, string(n))
+					buf = snapstore.AppendUvarint(buf, uint64(to.ID))
+					buf = append(buf, byte(to.Kind))
 				}
 			} else {
-				rec.Opaque = true
+				buf = append(buf, tagOpaque)
 				opaque++
 			}
 		}
-		snap.Entities = append(snap.Entities, rec)
-
 		if g, ok := w.ReplicaGroup(e); ok {
-			snap.Groups[uint64(g)] = append(snap.Groups[uint64(g)], uint64(e.ID))
+			i, seen := groupIndex[g]
+			if !seen {
+				i = len(groups)
+				groupIndex[g] = i
+				groups = append(groups, nil)
+			}
+			groups[i] = append(groups[i], uint64(e.ID))
 		}
 	}
-	if err := gob.NewEncoder(out).Encode(snap); err != nil {
+
+	// Groups in order of first member: entity iteration is ID-ordered, so
+	// this is deterministic and survives group-ID renumbering on reload.
+	buf = snapstore.AppendUvarint(buf, uint64(len(groups)))
+	for _, members := range groups {
+		buf = snapstore.AppendUvarint(buf, uint64(len(members)))
+		for _, id := range members {
+			buf = snapstore.AppendUvarint(buf, id)
+		}
+	}
+
+	if _, err := out.Write(buf); err != nil {
 		return opaque, fmt.Errorf("encode snapshot: %w", err)
 	}
 	return opaque, nil
@@ -93,23 +123,25 @@ func Save(w *core.World, out io.Writer) (opaque int, err error) {
 // Load reconstructs a world from a snapshot. Entity IDs are preserved, so
 // entities loaded from the same snapshot are comparable across loads.
 func Load(in io.Reader) (*core.World, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(in).Decode(&snap); err != nil {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("read snapshot: %w: %w", ErrBadSnapshot, err)
+	}
+	snap, groups, err := decode(data)
+	if err != nil {
 		return nil, fmt.Errorf("decode snapshot: %w: %w", ErrBadSnapshot, err)
 	}
 	w := core.NewWorld()
 
 	// Recreate entities in ID order; IDs must come out identical.
-	sort.Slice(snap.Entities, func(i, j int) bool {
-		return snap.Entities[i].ID < snap.Entities[j].ID
-	})
+	sort.Slice(snap, func(i, j int) bool { return snap[i].ID < snap[j].ID })
 	contexts := make(map[uint64]*core.BasicContext)
-	for _, rec := range snap.Entities {
+	for _, rec := range snap {
 		var e core.Entity
 		switch core.Kind(rec.Kind) {
 		case core.KindActivity:
 			e = w.NewActivity(rec.Label)
-			if rec.HasContext {
+			if rec.Tag == tagContext {
 				ctx := core.NewContext()
 				if err := w.SetState(e, ctx); err != nil {
 					return nil, err
@@ -117,7 +149,7 @@ func Load(in io.Reader) (*core.World, error) {
 				contexts[rec.ID] = ctx
 			}
 		case core.KindObject:
-			if rec.HasContext {
+			if rec.Tag == tagContext {
 				var ctx *core.BasicContext
 				e, ctx = w.NewContextObject(rec.Label)
 				contexts[rec.ID] = ctx
@@ -131,15 +163,8 @@ func Load(in io.Reader) (*core.World, error) {
 			return nil, fmt.Errorf("entity %d reloaded as %d (snapshot has gaps): %w",
 				rec.ID, e.ID, ErrBadSnapshot)
 		}
-		if rec.HasFile {
-			data := &dirtree.FileData{Content: rec.Content}
-			for _, comp := range rec.Embedded {
-				p := make(core.Path, len(comp))
-				for i, c := range comp {
-					p[i] = core.Name(c)
-				}
-				data.Embedded = append(data.Embedded, p)
-			}
+		if rec.Tag == tagFile {
+			data := &dirtree.FileData{Content: rec.Content, Embedded: rec.Embedded}
 			if err := w.SetState(e, data); err != nil {
 				return nil, err
 			}
@@ -147,8 +172,8 @@ func Load(in io.Reader) (*core.World, error) {
 	}
 
 	// Bindings, now that all entities exist.
-	for _, rec := range snap.Entities {
-		if !rec.HasContext {
+	for _, rec := range snap {
+		if rec.Tag != tagContext {
 			continue
 		}
 		ctx := contexts[rec.ID]
@@ -163,13 +188,7 @@ func Load(in io.Reader) (*core.World, error) {
 	}
 
 	// Replica groups (group ids are not preserved, membership is).
-	groupIDs := make([]uint64, 0, len(snap.Groups))
-	for g := range snap.Groups {
-		groupIDs = append(groupIDs, g)
-	}
-	sort.Slice(groupIDs, func(i, j int) bool { return groupIDs[i] < groupIDs[j] })
-	for _, g := range groupIDs {
-		ids := snap.Groups[g]
+	for gi, ids := range groups {
 		members := make([]core.Entity, 0, len(ids))
 		for _, id := range ids {
 			for _, k := range []core.Kind{core.KindObject, core.KindActivity} {
@@ -181,11 +200,79 @@ func Load(in io.Reader) (*core.World, error) {
 			}
 		}
 		if len(members) != len(ids) {
-			return nil, fmt.Errorf("replica group %d has missing members: %w", g, ErrBadSnapshot)
+			return nil, fmt.Errorf("replica group %d has missing members: %w", gi, ErrBadSnapshot)
 		}
 		if _, err := w.NewReplicaGroup(members...); err != nil {
 			return nil, err
 		}
 	}
 	return w, nil
+}
+
+// decode parses the canonical snapshot framing.
+func decode(data []byte) ([]entityRec, [][]uint64, error) {
+	r := snapstore.NewReader(data)
+	if r.Byte() != worldMagic || r.Byte() != worldVersion {
+		if err := r.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("world header: %w", snapstore.ErrTruncated)
+	}
+	count := r.Uvarint()
+	if count > uint64(r.Len()) {
+		return nil, nil, fmt.Errorf("entity count %d: %w", count, snapstore.ErrTruncated)
+	}
+	recs := make([]entityRec, 0, count)
+	for i := uint64(0); i < count && r.Err() == nil; i++ {
+		rec := entityRec{
+			ID:    r.Uvarint(),
+			Kind:  r.Byte(),
+			Label: r.String(),
+			Tag:   r.Byte(),
+		}
+		switch rec.Tag {
+		case tagStateless, tagOpaque:
+		case tagContext:
+			n := r.Uvarint()
+			if n > uint64(r.Len()) {
+				return nil, nil, fmt.Errorf("binding count %d: %w", n, snapstore.ErrTruncated)
+			}
+			for j := uint64(0); j < n && r.Err() == nil; j++ {
+				rec.Bindings = append(rec.Bindings, bindingRec{
+					Name: r.String(),
+					To:   r.Uvarint(),
+					Kind: r.Byte(),
+				})
+			}
+		case tagFile:
+			rec.Content, rec.Embedded = snapstore.ReadFileState(r)
+		default:
+			return nil, nil, fmt.Errorf("entity %d state tag %d: %w",
+				rec.ID, rec.Tag, snapstore.ErrTruncated)
+		}
+		recs = append(recs, rec)
+	}
+	gcount := r.Uvarint()
+	if gcount > uint64(r.Len()) {
+		return nil, nil, fmt.Errorf("group count %d: %w", gcount, snapstore.ErrTruncated)
+	}
+	groups := make([][]uint64, 0, gcount)
+	for i := uint64(0); i < gcount && r.Err() == nil; i++ {
+		n := r.Uvarint()
+		if n > uint64(r.Len())+1 {
+			return nil, nil, fmt.Errorf("group size %d: %w", n, snapstore.ErrTruncated)
+		}
+		ids := make([]uint64, 0, n)
+		for j := uint64(0); j < n; j++ {
+			ids = append(ids, r.Uvarint())
+		}
+		groups = append(groups, ids)
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if r.Len() != 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes: %w", r.Len(), snapstore.ErrTruncated)
+	}
+	return recs, groups, nil
 }

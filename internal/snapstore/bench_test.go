@@ -1,0 +1,138 @@
+package snapstore
+
+import (
+	"fmt"
+	"testing"
+
+	"namecoherence/internal/cas"
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+)
+
+// benchTree builds a deep tree with replicated subtrees: fanout^depth
+// directories where every directory holds files whose contents repeat
+// across siblings, so content addressing has real sharing to find.
+func benchTree(b *testing.B, fanout, depth, filesPerDir int) *dirtree.Tree {
+	b.Helper()
+	w := core.NewWorld()
+	tr := dirtree.New(w, "root")
+	var build func(at core.Path, d int)
+	build = func(at core.Path, d int) {
+		for f := 0; f < filesPerDir; f++ {
+			// Content keyed by position in the subtree, not by absolute
+			// path: sibling subtrees are byte-identical and dedup.
+			p := at.Append(core.Name(fmt.Sprintf("f%d", f)))
+			if _, err := tr.Create(p, fmt.Sprintf("payload-%d-%d", d, f)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if d == depth {
+			return
+		}
+		for c := 0; c < fanout; c++ {
+			sub := at.Append(core.Name(fmt.Sprintf("d%d", c)))
+			if _, err := tr.MkdirAll(sub); err != nil {
+				b.Fatal(err)
+			}
+			build(sub, d+1)
+		}
+	}
+	build(nil, 0)
+	return tr
+}
+
+func BenchmarkSnapstoreSnapshot(b *testing.B) {
+	tr := benchTree(b, 4, 4, 3)
+	st := newMemStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Snapshot(tr.W, tr.Root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(st.CAS().Stats().DedupRatio(), "dedup-ratio")
+}
+
+func BenchmarkSnapstoreRestore(b *testing.B) {
+	tr := benchTree(b, 4, 4, 3)
+	st := newMemStore()
+	root, err := st.Snapshot(tr.W, tr.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Restore(root, core.NewWorld(), "root"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapstoreDiff(b *testing.B) {
+	tr := benchTree(b, 4, 4, 3)
+	st := newMemStore()
+	before, err := st.Snapshot(tr.W, tr.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One deep edit: Diff should touch only the changed spine.
+	e, err := tr.Lookup(core.ParsePath("d0/d0/d0/d0/f0"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.W.SetState(e, &dirtree.FileData{Content: "edited"}); err != nil {
+		b.Fatal(err)
+	}
+	after, err := st.Snapshot(tr.W, tr.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changes, err := st.Diff(before, after)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(changes) != 1 {
+			b.Fatalf("changes = %d, want 1", len(changes))
+		}
+	}
+}
+
+func BenchmarkSnapstoreCatchUp(b *testing.B) {
+	tr := benchTree(b, 4, 4, 3)
+	st := newMemStore()
+	before, err := st.Snapshot(tr.W, tr.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := tr.Lookup(core.ParsePath("d0/d0/d0/d0/f0"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.W.SetState(e, &dirtree.FileData{Content: "edited"}); err != nil {
+		b.Fatal(err)
+	}
+	after, err := st.Snapshot(tr.W, tr.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var copied, pruned int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		replica := cas.NewMem()
+		if _, _, err := st.CatchUp(replica, before); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		copied, pruned, err = st.CatchUp(replica, after)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(copied), "blobs-copied")
+	b.ReportMetric(float64(pruned), "subtrees-pruned")
+}

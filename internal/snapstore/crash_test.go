@@ -1,0 +1,159 @@
+package snapstore
+
+import (
+	"errors"
+	"testing"
+
+	"namecoherence/internal/cas"
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+)
+
+// A writer killed mid-snapshot (simulated by failing a blob publish after
+// its temp file is written) must leave the store recoverable: the
+// previous committed root restores intact, no corrupt blob is visible,
+// and reopening sweeps the abandoned temp files.
+func TestCrashMidSnapshotPreservesPreviousRoot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := core.NewWorld()
+	tr := dirtree.New(w, "root")
+	buildSample(t, tr)
+	v1, err := st.Snapshot(w, tr.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(0, 1, v1); err != nil {
+		t.Fatal(err)
+	}
+	wantSig := signature(t, tr)
+
+	// Mutate, then kill the writer partway through the second snapshot:
+	// the first new blob dies after its temp file hits disk.
+	if _, err := tr.Create(core.ParsePath("var/next"), "unfinished"); err != nil {
+		t.Fatal(err)
+	}
+	local, ok := st.CAS().Backend().(*cas.Local)
+	if !ok {
+		t.Fatalf("durable store backend is %T, want *cas.Local", st.CAS().Backend())
+	}
+	crash := errors.New("simulated crash")
+	local.PutHook = func(cas.Hash, string) error { return crash }
+	if _, err := st.Snapshot(w, tr.Root); !errors.Is(err, crash) {
+		t.Fatalf("snapshot through crashing writer = %v, want the crash", err)
+	}
+	local.PutHook = nil
+
+	// The manifest still names v1 and nothing visible is corrupt.
+	if last, ok := st.Latest(0); !ok || last.Rev != 1 || last.Root != v1.String() {
+		t.Fatalf("Latest(0) after crash = %+v, %v; want rev 1 at %s", last, ok, v1)
+	}
+
+	// Restart: reopen the directory as a fresh process would.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt, err := st2.CAS().Verify(); err != nil || len(corrupt) != 0 {
+		t.Fatalf("Verify after crash = %v, %v; want clean", corrupt, err)
+	}
+	last, ok := st2.Latest(0)
+	if !ok || last.Rev != 1 {
+		t.Fatalf("reopened Latest(0) = %+v, %v", last, ok)
+	}
+	h, err := last.RootHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := core.NewWorld()
+	tr2, err := st2.Restore(h, w2, "root")
+	if err != nil {
+		t.Fatalf("restore of previous root after crash: %v", err)
+	}
+	// The restored graph is the pre-crash commit: no trace of the
+	// half-written mutation.
+	if _, err := tr2.Lookup(core.ParsePath("var/next")); err == nil {
+		t.Fatal("half-snapshotted file leaked into the recovered tree")
+	}
+	requireSameSignature(t, wantSig, signature(t, tr2))
+
+	// The writer retries after restart and completes.
+	v2, err := st2.Snapshot(w, tr.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Commit(0, 2, v2); err != nil {
+		t.Fatal(err)
+	}
+	w3 := core.NewWorld()
+	tr3, err := st2.Restore(v2, w3, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSignature(t, signature(t, tr), signature(t, tr3))
+}
+
+// A crash later in the snapshot — after some new blobs published — is
+// equally recoverable: published blobs are just unreferenced garbage, the
+// manifest never saw the new root.
+func TestCrashAfterPartialPublishIsRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := core.NewWorld()
+	tr := dirtree.New(w, "root")
+	buildSample(t, tr)
+	v1, err := st.Snapshot(w, tr.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(0, 1, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		p := core.ParsePath("churn/f" + string(rune('a'+i)))
+		if _, err := tr.Create(p, "gen"+string(rune('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := st.CAS().Backend().(*cas.Local)
+	crash := errors.New("simulated crash")
+	allowed := 2 // let two new blobs publish, then die
+	local.PutHook = func(cas.Hash, string) error {
+		if allowed > 0 {
+			allowed--
+			return nil
+		}
+		return crash
+	}
+	if _, err := st.Snapshot(w, tr.Root); !errors.Is(err, crash) {
+		t.Fatalf("snapshot = %v, want the crash", err)
+	}
+	local.PutHook = nil
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt, err := st2.CAS().Verify(); err != nil || len(corrupt) != 0 {
+		t.Fatalf("Verify = %v, %v; want clean", corrupt, err)
+	}
+	last, _ := st2.Latest(0)
+	h, err := last.RootHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Restore(h, core.NewWorld(), "root"); err != nil {
+		t.Fatalf("restore of committed root: %v", err)
+	}
+	if _, err := st2.Snapshot(w, tr.Root); err != nil {
+		t.Fatalf("retry after restart: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package snapstore
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"namecoherence/internal/cas"
+	"namecoherence/internal/core"
+	"namecoherence/internal/dirtree"
+)
+
+// ErrBadSnapshot is wrapped by Restore errors: the blob graph under the
+// given root is malformed or incomplete.
+var ErrBadSnapshot = errors.New("bad snapshot")
+
+// objectsDir is the blob directory inside a Store's data directory.
+const objectsDir = "objects"
+
+// Store is a snapshot repository: a cas.Store holding Merkle node blobs
+// plus a revision-history manifest. Safe for concurrent use; concurrent
+// Snapshot calls of shared structure dedup against each other through the
+// CAS existence check.
+type Store struct {
+	cs  *cas.Store
+	dir string // manifest directory; "" = manifest kept in memory only
+
+	mu  sync.Mutex
+	man manifest
+}
+
+// New returns a Store over an existing CAS (typically cas.NewMem for
+// tests and replica scratch space). Its manifest lives in memory only.
+func New(cs *cas.Store) *Store {
+	return &Store{cs: cs}
+}
+
+// Open opens (creating if needed) a durable Store rooted at dir: blobs in
+// dir/objects with write-then-rename + fsync durability, manifest in
+// dir/MANIFEST.json written atomically. Temp files abandoned by a crashed
+// writer are swept at open.
+func Open(dir string) (*Store, error) {
+	local, err := cas.OpenLocal(filepath.Join(dir, objectsDir))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := local.SweepTemps(); err != nil {
+		return nil, fmt.Errorf("sweep crashed writes: %w", err)
+	}
+	s := &Store{cs: cas.NewStore(local), dir: dir}
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.man = man
+	return s, nil
+}
+
+// CAS returns the underlying content-addressed store.
+func (s *Store) CAS() *cas.Store { return s.cs }
+
+// Snapshot serializes the subtree rooted at root into canonical Merkle
+// blobs and returns the root hash — one hash that names the whole
+// subtree. Shared subtrees are stored once; links back to an ancestor are
+// encoded as cycle references; identical structure produces identical
+// hashes no matter which replica built it.
+func (s *Store) Snapshot(w *core.World, root core.Entity) (cas.Hash, error) {
+	sn := &snapshotter{
+		w:       w,
+		cs:      s.cs,
+		done:    make(map[core.EntityID]cas.Hash),
+		onStack: make(map[core.EntityID]int),
+	}
+	h, err := sn.encode(root, 0)
+	if err != nil {
+		return cas.Hash{}, fmt.Errorf("snapshot %v: %w", root, err)
+	}
+	return h, nil
+}
+
+// snapshotter is one Snapshot call's DFS state.
+type snapshotter struct {
+	w       *core.World
+	cs      *cas.Store
+	done    map[core.EntityID]cas.Hash // entity → blob hash, post-order
+	onStack map[core.EntityID]int      // entity → DFS depth, while open
+}
+
+// encode serializes e's subtree (post-order: children's blobs are in the
+// store before their parent's — the invariant CatchUp's pruning relies
+// on) and returns its hash. depth is e's position on the DFS stack.
+func (sn *snapshotter) encode(e core.Entity, depth int) (cas.Hash, error) {
+	if h, ok := sn.done[e.ID]; ok {
+		return h, nil
+	}
+	node := &Node{}
+	if ctx, ok := sn.w.ContextOf(e); ok {
+		node.Kind = KindDir
+		node.EntityKind = e.Kind
+		sn.onStack[e.ID] = depth
+		for _, name := range ctx.Names() {
+			child := ctx.Lookup(name)
+			if child.IsUndefined() {
+				continue
+			}
+			var ref Ref
+			if d, open := sn.onStack[child.ID]; open {
+				ref = Ref{IsCycle: true, Cycle: uint32(depth - d)}
+			} else {
+				h, err := sn.encode(child, depth+1)
+				if err != nil {
+					return cas.Hash{}, err
+				}
+				ref = Ref{Hash: h}
+			}
+			node.Entries = append(node.Entries, Entry{Name: name, Ref: ref})
+		}
+		delete(sn.onStack, e.ID)
+	} else if data, ok := sn.w.State(e).(*dirtree.FileData); ok {
+		node.Kind = KindFile
+		node.Content = data.Content
+		node.Embedded = data.Embedded
+	} else {
+		node.Kind = KindOpaque
+		node.EntityKind = e.Kind
+		node.Label = sn.w.Label(e)
+	}
+	h, err := sn.cs.Put(node.Encode())
+	if err != nil {
+		return cas.Hash{}, err
+	}
+	sn.done[e.ID] = h
+	return h, nil
+}
+
+// Restore materializes the subtree named by root into w and returns it as
+// a tree. Hash-shared blobs restore to shared entities, except subtrees
+// whose cycle references escape them (a ".."-style link above their own
+// root): those are relative names, re-instantiated per occurrence so each
+// copy's cycles resolve against its own access path. label names the
+// restored root; interior entities are labelled by the binding that
+// reaches them first.
+func (s *Store) Restore(root cas.Hash, w *core.World, label string) (*dirtree.Tree, error) {
+	rs := &restorer{w: w, cs: s.cs, memo: make(map[cas.Hash]core.Entity)}
+	e, _, err := rs.restore(root, label, nil)
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", root, err)
+	}
+	if _, ok := w.ContextOf(e); !ok {
+		return nil, fmt.Errorf("restore %s: root is not a context object: %w", root, ErrBadSnapshot)
+	}
+	return &dirtree.Tree{W: w, Root: e}, nil
+}
+
+// restorer is one Restore call's DFS state.
+type restorer struct {
+	w    *core.World
+	cs   *cas.Store
+	memo map[cas.Hash]core.Entity // self-contained subtrees only
+}
+
+// restore materializes the blob graph under h. stack holds the entities
+// currently being built, bottom (root) first; cycle references index into
+// it from the top. It returns the entity and the subtree's escape height:
+// how far above itself its deepest cycle reference points (0 = fully
+// self-contained). Only self-contained subtrees are memoized — an
+// escaping reference is relative to the access path, so each occurrence
+// must re-resolve it against its own ancestors.
+func (rs *restorer) restore(h cas.Hash, label string, stack []core.Entity) (core.Entity, int, error) {
+	if e, ok := rs.memo[h]; ok {
+		return e, 0, nil
+	}
+	data, err := rs.cs.Get(h)
+	if err != nil {
+		return core.Undefined, 0, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	node, err := DecodeNode(data)
+	if err != nil {
+		return core.Undefined, 0, fmt.Errorf("%s: %w: %w", h, ErrBadSnapshot, err)
+	}
+	switch node.Kind {
+	case KindDir:
+		var e core.Entity
+		var ctx *core.BasicContext
+		if node.EntityKind == core.KindActivity {
+			e = rs.w.NewActivity(label)
+			ctx = core.NewContext()
+			if err := rs.w.SetState(e, ctx); err != nil {
+				return core.Undefined, 0, err
+			}
+		} else {
+			e, ctx = rs.w.NewContextObject(label)
+		}
+		stack = append(stack, e)
+		escape := 0
+		for _, entry := range node.Entries {
+			if entry.Ref.IsCycle {
+				d := int(entry.Ref.Cycle)
+				if d >= len(stack) {
+					return core.Undefined, 0, fmt.Errorf(
+						"%s: cycle ref %d deeper than access path %d: %w",
+						h, d, len(stack), ErrBadSnapshot)
+				}
+				ctx.Bind(entry.Name, stack[len(stack)-1-d])
+				if d > escape {
+					escape = d
+				}
+				continue
+			}
+			child, childEscape, err := rs.restore(entry.Ref.Hash, string(entry.Name), stack)
+			if err != nil {
+				return core.Undefined, 0, err
+			}
+			ctx.Bind(entry.Name, child)
+			if childEscape-1 > escape {
+				escape = childEscape - 1
+			}
+		}
+		if escape == 0 {
+			rs.memo[h] = e
+		}
+		return e, escape, nil
+	case KindFile:
+		e := rs.w.NewObject(label)
+		if err := rs.w.SetState(e, &dirtree.FileData{
+			Content:  node.Content,
+			Embedded: node.Embedded,
+		}); err != nil {
+			return core.Undefined, 0, err
+		}
+		rs.memo[h] = e
+		return e, 0, nil
+	case KindOpaque:
+		var e core.Entity
+		if node.EntityKind == core.KindActivity {
+			e = rs.w.NewActivity(node.Label)
+		} else {
+			e = rs.w.NewObject(node.Label)
+		}
+		rs.memo[h] = e
+		return e, 0, nil
+	default:
+		return core.Undefined, 0, fmt.Errorf("%s: node kind %d: %w", h, node.Kind, ErrBadSnapshot)
+	}
+}

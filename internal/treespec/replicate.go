@@ -30,18 +30,21 @@ func BuildReplicas(spec string, w *core.World, label string, r int) ([]*dirtree.
 		trees[i] = t
 	}
 	if r > 1 {
-		if err := groupReplicas(w, trees); err != nil {
+		if err := GroupReplicas(w, trees); err != nil {
 			return nil, err
 		}
 	}
 	return trees, nil
 }
 
-// groupReplicas walks the primary tree and, for every path it binds, puts
+// GroupReplicas walks the primary tree and, for every path it binds, puts
 // the entities the other trees resolve that path to into one replica group
 // with the primary's entity. Aliased paths (links) resolve to an entity
 // already grouped and are skipped, so each entity joins at most one group.
-func groupReplicas(w *core.World, trees []*dirtree.Tree) error {
+// It is exported for callers that obtain structurally identical trees some
+// other way than BuildReplicas — e.g. restoring each replica from the same
+// content-addressed snapshot root.
+func GroupReplicas(w *core.World, trees []*dirtree.Tree) error {
 	var paths []core.Path
 	trees[0].Walk(func(p core.Path, _ core.Entity) bool {
 		paths = append(paths, p.Clone())
