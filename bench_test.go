@@ -456,6 +456,78 @@ func BenchmarkE14ShardedCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteChurn measures wire mutation throughput through the
+// cluster write path: each iteration is one bind/unbind cycle against the
+// owning shard's primary, with asynchronous replication to the backup and
+// — in the readers>0 variants — subscribed push-invalidated readers whose
+// caches the churn keeps purging. writes/s is the figure of merit;
+// invals/op shows the push fan-out cost riding on each commit.
+func BenchmarkWriteChurn(b *testing.B) {
+	var spec strings.Builder
+	paths := make([]core.Path, 0, 32)
+	for d := 0; d < 4; d++ {
+		for f := 0; f < 8; f++ {
+			p := fmt.Sprintf("sub%02d/f%02d", d, f)
+			fmt.Fprintf(&spec, "file /%s %q\n", p, "x")
+			paths = append(paths, core.ParsePath(p))
+		}
+	}
+	for _, readers := range []int{0, 4} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			w := core.NewWorld()
+			cl, err := cluster.NewReplicated(w, spec.String(), 2, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			writer, err := cluster.Dial("tcp", cl.Addrs()[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer writer.Close()
+			subs := make([]*cluster.Client, readers)
+			for i := range subs {
+				subs[i], err = cluster.Dial("tcp", cl.Addrs()[0],
+					cluster.WithLRU(64), cluster.WithPushInvalidation())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer subs[i].Close()
+				for _, p := range paths {
+					if _, err := subs[i].Resolve(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			target, err := writer.Resolve(paths[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir := core.ParsePath("sub00")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := core.Name(fmt.Sprintf("churn%03d", i%512))
+				if err := writer.Bind(dir, name, target); err != nil {
+					b.Fatal(err)
+				}
+				if err := writer.Unbind(dir, name); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			cl.DrainReplication()
+			b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "writes/s")
+			if readers > 0 {
+				invals := 0
+				for _, r := range subs {
+					invals += r.Invalidations()
+				}
+				b.ReportMetric(float64(invals)/float64(b.N), "invals/op")
+			}
+		})
+	}
+}
+
 // BenchmarkRemoteResolve compares in-process resolution of a cross-machine
 // name against resolution through the target machine's name server over
 // TCP loopback, with and without the client cache.

@@ -25,6 +25,7 @@ import (
 	"namecoherence/internal/analysis/errwrap"
 	"namecoherence/internal/analysis/goroleak"
 	"namecoherence/internal/analysis/lockheld"
+	"namecoherence/internal/analysis/mutbump"
 	"namecoherence/internal/analysis/registrycheck"
 	"namecoherence/internal/analysis/wirecanon"
 )
@@ -40,6 +41,7 @@ var suite = []*analysis.Analyzer{
 	wirecanon.Analyzer,
 	goroleak.Analyzer,
 	registrycheck.Analyzer,
+	mutbump.Analyzer,
 }
 
 func main() {

@@ -77,6 +77,7 @@ func run(args []string) error {
 	specPath := fs.String("spec", "", "treespec file to serve (default: built-in demo)")
 	dump := fs.Bool("dump", false, "print the served tree's spec and exit")
 	watch := fs.Bool("watch", true, "bump the revision on binding changes (coherent caches)")
+	readonly := fs.Bool("readonly", false, "refuse wire mutations (bind/unbind/mkcontext)")
 	shards := fs.Int("shard", 1, "partition the tree across this many prefix shards")
 	replicas := fs.Int("replicas", 1, "serve each shard from this many replica servers")
 	dataDir := fs.String("data", "", "durable snapshot directory (enables crash recovery)")
@@ -122,7 +123,7 @@ func run(args []string) error {
 	}
 
 	if *shards > 1 || *replicas > 1 {
-		return runSharded(w, spec, *shards, *replicas, st, keeper, interrupt)
+		return runSharded(w, spec, *shards, *replicas, *readonly, st, keeper, interrupt)
 	}
 
 	// Single-server mode: recover the tree from the store when it holds a
@@ -163,7 +164,11 @@ func run(args []string) error {
 		}
 	}
 
-	server := nameserver.NewServer(w, tr.RootContext())
+	var srvOpts []nameserver.ServerOption
+	if *readonly {
+		srvOpts = append(srvOpts, nameserver.WithReadOnly())
+	}
+	server := nameserver.NewServer(w, tr.RootContext(), srvOpts...)
 	if recovered {
 		server.SetRevision(recoveredRev)
 	}
@@ -172,9 +177,14 @@ func run(args []string) error {
 		fmt.Printf("watching %d directories for binding changes\n", watched)
 	}
 	if keeper != nil {
+		// The snap runs under the server's write lock: a wire mutation can
+		// not land between reading the revision and walking the tree, so the
+		// committed snapshot is exactly the state at that revision.
 		keeper.Track(0, server.Revision, func() (h cas.Hash, rev uint64, err error) {
-			rev = server.Revision()
-			h, err = st.Snapshot(w, tr.Root)
+			server.Stable(func() {
+				rev = server.Revision()
+				h, err = st.Snapshot(w, tr.Root)
+			})
 			return h, rev, err
 		})
 		keeper.Start()
@@ -212,11 +222,14 @@ func run(args []string) error {
 
 // runSharded serves the spec from a prefix-partitioned, optionally
 // replicated cluster and prints the routing table clients bootstrap from.
-func runSharded(w *core.World, spec string, shards, replicas int,
+func runSharded(w *core.World, spec string, shards, replicas int, readonly bool,
 	st *snapstore.Store, keeper *snapstore.Keeper, interrupt chan os.Signal) error {
 	var opts []cluster.Option
 	if st != nil {
 		opts = append(opts, cluster.WithSnapStore(st))
+	}
+	if readonly {
+		opts = append(opts, cluster.WithServerOptions(nameserver.WithReadOnly()))
 	}
 	cl, err := cluster.NewReplicated(w, spec, shards, replicas, opts...)
 	if err != nil {
@@ -236,8 +249,12 @@ func runSharded(w *core.World, spec string, shards, replicas int,
 			i := i
 			srv := cl.Server(i)
 			keeper.Track(i, srv.Revision, func() (h cas.Hash, rev uint64, err error) {
-				rev = srv.Revision()
-				h, err = cl.ShardRoot(st, i, 0)
+				// Under the primary's write lock, so a wire mutation can not
+				// tear the snapshot between revision read and tree walk.
+				srv.Stable(func() {
+					rev = srv.Revision()
+					h, err = cl.ShardRoot(st, i, 0)
+				})
 				return h, rev, err
 			})
 		}

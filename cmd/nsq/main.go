@@ -6,12 +6,23 @@
 // a deadline (-timeout) with bounded retry (-retries) and automatic
 // failover across an nsd -replicas deployment's replica servers.
 //
+// The first argument may be a mutation verb: "bind PATH TARGET" binds
+// PATH to the entity TARGET resolves to, "unbind PATH" removes the
+// binding, "mkcontext PATH" creates a directory. In cluster mode writes
+// route to the owning shard's primary. -push subscribes the client for
+// server-pushed invalidations before resolving (useful with -cache
+// -coherent -n, where repeated reads would otherwise revalidate by poll).
+//
 // Usage:
 //
 //	nsq /usr/bin/ls /etc/passwd
 //	nsq -addr 127.0.0.1:9000 -cache 16 -n 3 /usr/bin/ls
+//	nsq bind /usr/bin/ls2 /usr/bin/ls
+//	nsq mkcontext /usr/local && nsq bind /usr/local/tool /usr/bin/ls
+//	nsq unbind /usr/bin/ls2
 //	nsq -cluster -addr 127.0.0.1:40001 -batch /usr/bin/ls /etc/passwd
 //	nsq -cluster -addr 127.0.0.1:40001 -timeout 500ms -retries 3 /etc/passwd
+//	nsq -cluster -addr 127.0.0.1:40001 bind /usr/bin/ls2 /usr/bin/ls
 package main
 
 import (
@@ -42,6 +53,7 @@ func run(args []string) error {
 	batch := fs.Bool("batch", false, "with -cluster: resolve all paths in one round-trip per shard")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 	retries := fs.Int("retries", 2, "with -cluster: extra attempts after a transport failure")
+	push := fs.Bool("push", false, "subscribe for server-pushed cache invalidations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,8 +66,12 @@ func run(args []string) error {
 	if *retries < 0 {
 		return fmt.Errorf("-retries %d: must be >= 0", *retries)
 	}
+	verb, rest, err := splitVerb(fs.Args())
+	if err != nil {
+		return err
+	}
 	if *clustered {
-		return runCluster(*addr, *cacheSize, *batch, *repeat, *timeout, *retries, fs.Args())
+		return runCluster(*addr, *cacheSize, *batch, *repeat, *timeout, *retries, *push, verb, rest)
 	}
 
 	var opts []nameserver.ClientOption
@@ -74,8 +90,16 @@ func run(args []string) error {
 	}
 	defer func() { _ = client.Close() }()
 
+	if verb != "" {
+		return mutateSingle(client, verb, rest)
+	}
+	if *push {
+		if err := client.Subscribe(nil); err != nil {
+			return fmt.Errorf("subscribe: %w", err)
+		}
+	}
 	for i := 0; i < *repeat; i++ {
-		for _, arg := range fs.Args() {
+		for _, arg := range rest {
 			_, p := core.SplitPathString(arg)
 			e, err := client.Resolve(p)
 			if err != nil {
@@ -89,6 +113,105 @@ func run(args []string) error {
 		hits, misses := client.Stats()
 		fmt.Printf("cache: %d hits, %d misses\n", hits, misses)
 	}
+	if *push {
+		fmt.Printf("push: %d invalidations\n", client.Invalidations())
+	}
+	return nil
+}
+
+// splitVerb peels a leading mutation verb off the positional arguments
+// and checks its operand count: bind PATH TARGET, unbind PATH,
+// mkcontext PATH. No verb means every argument is a path to resolve.
+func splitVerb(args []string) (verb string, rest []string, err error) {
+	switch args[0] {
+	case "bind":
+		if len(args) != 3 {
+			return "", nil, fmt.Errorf("bind: need PATH TARGET")
+		}
+	case "unbind", "mkcontext":
+		if len(args) != 2 {
+			return "", nil, fmt.Errorf("%s: need PATH", args[0])
+		}
+	default:
+		return "", args, nil
+	}
+	return args[0], args[1:], nil
+}
+
+// splitDirName separates a mutation operand into the directory path and
+// the final name being bound, unbound, or created.
+func splitDirName(arg string) (core.Path, core.Name, error) {
+	_, p := core.SplitPathString(arg)
+	if len(p) == 0 {
+		return nil, "", fmt.Errorf("%q: empty path", arg)
+	}
+	return p[:len(p)-1], p[len(p)-1], nil
+}
+
+// mutateSingle applies one mutation verb through a single-server client.
+func mutateSingle(client *nameserver.Client, verb string, args []string) error {
+	dir, name, err := splitDirName(args[0])
+	if err != nil {
+		return err
+	}
+	switch verb {
+	case "bind":
+		_, tp := core.SplitPathString(args[1])
+		target, err := client.Resolve(tp)
+		if err != nil {
+			return fmt.Errorf("resolve target %s: %w", args[1], err)
+		}
+		rev, err := client.Bind(dir, name, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bound %s -> %v (revision %d)\n", args[0], target, rev)
+	case "unbind":
+		rev, err := client.Unbind(dir, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("unbound %s (revision %d)\n", args[0], rev)
+	case "mkcontext":
+		e, rev, err := client.Mkcontext(dir, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("made context %s -> %v (revision %d)\n", args[0], e, rev)
+	}
+	return nil
+}
+
+// mutateCluster applies one mutation verb through a cluster client; the
+// write routes to the owning shard's primary replica.
+func mutateCluster(client *cluster.Client, verb string, args []string) error {
+	dir, name, err := splitDirName(args[0])
+	if err != nil {
+		return err
+	}
+	switch verb {
+	case "bind":
+		_, tp := core.SplitPathString(args[1])
+		target, err := client.Resolve(tp)
+		if err != nil {
+			return fmt.Errorf("resolve target %s: %w", args[1], err)
+		}
+		if err := client.Bind(dir, name, target); err != nil {
+			return err
+		}
+		fmt.Printf("bound %s -> %v\n", args[0], target)
+	case "unbind":
+		if err := client.Unbind(dir, name); err != nil {
+			return err
+		}
+		fmt.Printf("unbound %s\n", args[0])
+	case "mkcontext":
+		e, err := client.Mkcontext(dir, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("made context %s -> %v\n", args[0], e)
+	}
 	return nil
 }
 
@@ -97,7 +220,7 @@ func run(args []string) error {
 // revision-tracked per-shard LRU; requests run under the deadline and
 // retry/failover policy.
 func runCluster(addr string, cacheSize int, batch bool, repeat int,
-	timeout time.Duration, retries int, args []string) error {
+	timeout time.Duration, retries int, push bool, verb string, args []string) error {
 	opts := []cluster.ClientOption{
 		cluster.WithTimeout(timeout),
 		cluster.WithRetries(retries),
@@ -105,11 +228,18 @@ func runCluster(addr string, cacheSize int, batch bool, repeat int,
 	if cacheSize > 0 {
 		opts = append(opts, cluster.WithLRU(cacheSize))
 	}
+	if push {
+		opts = append(opts, cluster.WithPushInvalidation())
+	}
 	client, err := cluster.Dial("tcp", addr, opts...)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
+
+	if verb != "" {
+		return mutateCluster(client, verb, args)
+	}
 
 	routes := client.Routes()
 	if routes.Replicas != nil {
@@ -150,6 +280,9 @@ func runCluster(addr string, cacheSize int, batch bool, repeat int,
 	if cacheSize > 0 {
 		hits, misses := client.Stats()
 		fmt.Printf("cache: %d hits, %d misses\n", hits, misses)
+	}
+	if push {
+		fmt.Printf("push: %d invalidations\n", client.Invalidations())
 	}
 	return nil
 }

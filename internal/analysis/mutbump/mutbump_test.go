@@ -1,0 +1,12 @@
+package mutbump_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/mutbump"
+)
+
+func TestMutbump(t *testing.T) {
+	analysistest.Run(t, mutbump.Analyzer, "nameserver")
+}

@@ -41,6 +41,13 @@ type FuncSummary struct {
 	// transitively. wirecanon uses this for its "core.Path in, wire I/O
 	// out, never canonicalized" rule.
 	ReachesCanon bool `json:",omitempty"`
+	// RevBumps: the function is a revision-advance point — it carries a
+	// //namingvet:revbump directive (Server.Bump, Server.SetRevision).
+	RevBumps bool `json:",omitempty"`
+	// ReachesRevBump: the function calls a revision-advance point,
+	// directly or transitively. mutbump uses this for its "mutates a
+	// binding, never bumps the revision" rule.
+	ReachesRevBump bool `json:",omitempty"`
 }
 
 // Summaries maps FuncKey strings to summaries. Keys use types.Func.FullName
@@ -106,6 +113,11 @@ func (pf *PackageFacts) OwnFacts(fn *types.Func) *FuncFacts {
 // §6 canonicalization point: its results are wire-coherent names.
 const CanonicalizerDirective = "//namingvet:canonicalizer"
 
+// RevBumpDirective in a function's doc comment marks it as a revision
+// advance: callers mutating bindings discharge the coherence obligation
+// by reaching one of these before replying.
+const RevBumpDirective = "//namingvet:revbump"
+
 // atoms are the raw, position-ordered observations collected from one body
 // before any fixpoint runs.
 type atoms struct {
@@ -153,6 +165,9 @@ func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
 		if hasDirective(decl.Doc, CanonicalizerDirective) {
 			ff.Summary.Canonicalizes = true
 		}
+		if hasDirective(decl.Doc, RevBumpDirective) {
+			ff.Summary.RevBumps = true
+		}
 		ff.Summary.AcquiresLock = a.lock
 		ff.Summary.SpawnsGoroutine = a.spawns
 		ff.Summary.SetsDeadline = len(a.deadlinePos) > 0
@@ -194,6 +209,9 @@ func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
 				if (cal.Canonicalizes || cal.ReachesCanon) && !s.ReachesCanon {
 					s.ReachesCanon, changed = true, true
 				}
+				if (cal.RevBumps || cal.ReachesRevBump) && !s.ReachesRevBump {
+					s.ReachesRevBump, changed = true, true
+				}
 			}
 			for _, ret := range a.returnCallees {
 				if lookup(ret).Canonicalizes && !s.Canonicalizes {
@@ -202,6 +220,9 @@ func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
 			}
 			if s.Canonicalizes && !s.ReachesCanon {
 				s.ReachesCanon, changed = true, true
+			}
+			if s.RevBumps && !s.ReachesRevBump {
+				s.ReachesRevBump, changed = true, true
 			}
 		}
 	}

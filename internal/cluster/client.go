@@ -42,6 +42,11 @@ type Client struct {
 	coalesced int
 	purges    int
 	failovers int
+	// push invalidation (see WithPushInvalidation): every shared
+	// connection subscribes on dial, and pushed revisions feed the
+	// per-shard purge rule without waiting for the next miss.
+	push          bool
+	invalidations int
 }
 
 // batchJoinHook, when non-nil, runs as each batch goroutine finishes but
@@ -189,6 +194,8 @@ func NewClient(network string, routes *nameserver.RouteInfo, opts ...ClientOptio
 		}
 		c.shards[i].conns = make([]*sharedConn, len(c.shards[i].addrs))
 		c.shards[i].breakers = make([]breaker, len(c.shards[i].addrs))
+		shard := i
+		c.shards[i].onDial = func(conn *sharedConn) { c.maybeSubscribe(shard, conn) }
 	}
 	for _, o := range opts {
 		o.apply(c)
@@ -598,6 +605,10 @@ type replicaSet struct {
 	timeout          time.Duration
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	// onDial, when non-nil, runs once for each connection installed as the
+	// shared one, outside the set's mutex (it may perform wire I/O — the
+	// push-invalidation subscription rides it).
+	onDial func(*sharedConn)
 
 	mu       sync.Mutex
 	conns    []*sharedConn // per-replica shared connection, nil until dialed
@@ -659,9 +670,51 @@ func (p *replicaSet) get(avoid int) (*sharedConn, error) {
 		}
 		p.conns[r] = conn
 		p.mu.Unlock()
+		if p.onDial != nil {
+			p.onDial(conn)
+		}
 		return conn, nil
 	}
 	return nil, lastErr
+}
+
+// getReplica returns the shared connection to one specific replica,
+// dialing it if needed. Unlike get it neither fails over nor consults the
+// breaker — the write path uses it to reach the shard's primary and only
+// the primary, failing cleanly when the primary is unreachable.
+func (p *replicaSet) getReplica(r int) (*sharedConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if conn := p.conns[r]; conn != nil {
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+	conn, err := p.dialReplica(r)
+	if err != nil {
+		p.bad(r)
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClientClosed
+	}
+	if winner := p.conns[r]; winner != nil {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return winner, nil
+	}
+	p.conns[r] = conn
+	p.mu.Unlock()
+	if p.onDial != nil {
+		p.onDial(conn)
+	}
+	return conn, nil
 }
 
 // dialReplica dials one replica under the set's timeout, outside any lock

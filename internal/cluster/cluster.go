@@ -36,11 +36,24 @@ type Cluster struct {
 	catchUps  []CatchUpStat
 	recovered []recoveredShard
 
-	mu        sync.Mutex
-	servers   [][]*nameserver.Server
-	listeners [][]*faultnet.Listener
-	done      []chan struct{}
-	closed    bool
+	mu          sync.Mutex
+	servers     [][]*nameserver.Server
+	listeners   [][]*faultnet.Listener
+	replicators []*replicator // per shard, replicated clusters only
+	done        []chan struct{}
+	closed      bool
+}
+
+type serverOptsOption struct{ opts []nameserver.ServerOption }
+
+func (o serverOptsOption) apply(opts *options) {
+	opts.serverOpts = append(opts.serverOpts, o.opts...)
+}
+
+// WithServerOptions passes options through to every replica server of
+// every shard — e.g. nameserver.WithReadOnly() to serve a frozen cluster.
+func WithServerOptions(o ...nameserver.ServerOption) Option {
+	return serverOptsOption{opts: o}
 }
 
 // New splits spec across the given number of shards and serves each shard
@@ -85,7 +98,7 @@ func NewReplicated(w *core.World, spec string, shards, replicas int, opts ...Opt
 		shardServers := make([]*nameserver.Server, 0, replicas)
 		shardListeners := make([]*faultnet.Listener, 0, replicas)
 		for r, tr := range trees {
-			srv := nameserver.NewServer(w, tr.RootContext())
+			srv := nameserver.NewServer(w, tr.RootContext(), o.serverOpts...)
 			srv.WatchExport(tr.Root)
 			if rev, ok := c.Recovered(i); ok {
 				// A restored shard resumes at its snapshot's revision so
@@ -130,7 +143,46 @@ func NewReplicated(w *core.World, spec string, shards, replicas int, opts ...Opt
 			srv.SetRoutes(c.routes)
 		}
 	}
+	// Replicated shards get a write replicator: the primary's committed
+	// mutations are re-applied on each backup over the wire (through the
+	// fault injectors), so backups converge with the primary and the
+	// replica groups stay truthful under writes.
+	if replicas > 1 {
+		for i := range c.ReplicaTrees {
+			rep := newReplicator("tcp", i, replicaAddrs[i][1:], defaultTimeout)
+			servers[i][0].OnMutation(rep.enqueue)
+			c.mu.Lock()
+			c.replicators = append(c.replicators, rep)
+			c.mu.Unlock()
+		}
+	}
 	return c, nil
+}
+
+// DrainReplication blocks until every write committed so far has been
+// applied on every backup replica — the convergence point to wait on
+// after healing faults and before probing coherence. With no replicators
+// (unreplicated cluster) it returns immediately.
+func (c *Cluster) DrainReplication() {
+	c.mu.Lock()
+	reps := c.replicators
+	c.mu.Unlock()
+	for _, r := range reps {
+		r.drain()
+	}
+}
+
+// ReplicationPending reports how many committed writes are still queued
+// for (or in flight to) backup replicas.
+func (c *Cluster) ReplicationPending() int {
+	c.mu.Lock()
+	reps := c.replicators
+	c.mu.Unlock()
+	n := 0
+	for _, r := range reps {
+		n += r.pending()
+	}
+	return n
 }
 
 // Shards returns the number of shards.
@@ -211,8 +263,14 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	servers := c.servers
+	reps := c.replicators
 	done := c.done
 	c.mu.Unlock()
+	// Stop forwarding before stopping servers, so appliers do not spend
+	// their timeout retrying into listeners that are going away.
+	for _, r := range reps {
+		r.close()
+	}
 	for _, shard := range servers {
 		for _, s := range shard {
 			s.Close()

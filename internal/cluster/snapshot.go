@@ -5,6 +5,7 @@ import (
 
 	"namecoherence/internal/cas"
 	"namecoherence/internal/dirtree"
+	"namecoherence/internal/nameserver"
 	"namecoherence/internal/snapstore"
 	"namecoherence/internal/treespec"
 )
@@ -15,7 +16,8 @@ type Option interface {
 }
 
 type options struct {
-	snap *snapstore.Store
+	snap       *snapstore.Store
+	serverOpts []nameserver.ServerOption
 }
 
 type snapStoreOption struct{ st *snapstore.Store }

@@ -23,6 +23,7 @@ func All() ([]*Table, error) {
 		func() (*Table, error) { return E14(DefaultE14()) },
 		func() (*Table, error) { return E15(DefaultE15()) },
 		func() (*Table, error) { return E16(DefaultE16()) },
+		func() (*Table, error) { return E17(DefaultE17()) },
 		func() (*Table, error) { return A1(DefaultA1()) },
 		func() (*Table, error) { return A3(DefaultA3()) },
 		func() (*Table, error) { return A4(DefaultA4()) },

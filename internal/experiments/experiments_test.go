@@ -362,8 +362,8 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 20 {
-		t.Fatalf("tables = %d, want 20", len(tables))
+	if len(tables) != 21 {
+		t.Fatalf("tables = %d, want 21", len(tables))
 	}
 	seen := make(map[string]bool)
 	for _, tb := range tables {
@@ -626,5 +626,49 @@ func TestE15FailoverAvailability(t *testing.T) {
 	}
 	if failovers == 0 {
 		t.Error("one-down phase recorded no failovers — fault injection is vacuous")
+	}
+}
+
+// E17's headline claim: under live write churn, push invalidation keeps
+// caching readers coherent (degree >= 0.99 is the acceptance bar; the
+// mechanism actually delivers 1.0) while poll validation leaves caches
+// full of hits that never revalidate — visibly stale against the
+// authoritative graph.
+func TestE17(t *testing.T) {
+	tb, err := E17(DefaultE17())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (poll, push)", len(tb.Rows))
+	}
+	degrees := map[string]float64{}
+	for _, row := range tb.Rows {
+		var weak float64
+		if _, err := fmt.Sscan(row[6], &weak); err != nil {
+			t.Fatal(err)
+		}
+		degrees[row[0]] = weak
+		var writes int
+		if _, err := fmtSscan(row[1], &writes); err != nil {
+			t.Fatal(err)
+		}
+		if writes == 0 {
+			t.Errorf("%s: no writes applied — the churn is vacuous", row[0])
+		}
+	}
+	if degrees["push"] < 0.99 {
+		t.Errorf("push-invalidated coherence = %v, want >= 0.99", degrees["push"])
+	}
+	if degrees["poll"] >= degrees["push"] {
+		t.Errorf("poll degree %v >= push degree %v — push invalidation bought nothing",
+			degrees["poll"], degrees["push"])
+	}
+	var invals int
+	if _, err := fmtSscan(rowByLabel(t, tb, "push")[4], &invals); err != nil {
+		t.Fatal(err)
+	}
+	if invals == 0 {
+		t.Error("push phase recorded no invalidation frames")
 	}
 }

@@ -88,6 +88,13 @@ type Client struct {
 	hits     int
 	misses   int
 	purges   int
+	// subscription state (see Subscribe): push frames are consumed by a
+	// standing reader goroutine, joined by Close via readerWG.
+	subscribed    bool
+	onInval       func(rev uint64)
+	invalidations int
+
+	readerWG sync.WaitGroup
 }
 
 // ClientOption configures a Client.
@@ -251,8 +258,22 @@ func (c *Client) lead(pc *pendingCall, deadline time.Time) {
 }
 
 // dispatch delivers a decoded response to its pending call. Responses
-// whose call has been abandoned are dropped.
+// whose call has been abandoned are dropped. Push invalidation frames
+// answer no call: they feed the coherent cache's purge rule directly —
+// that is the whole point of subscribing — and then the optional
+// notification callback, outside c.mu.
 func (c *Client) dispatch(resp *response) {
+	if resp.Invalidation {
+		c.mu.Lock()
+		c.invalidations++
+		c.admitRevision(resp.Rev)
+		onInval := c.onInval
+		c.mu.Unlock()
+		if onInval != nil {
+			onInval(resp.Rev)
+		}
+		return
+	}
 	c.pmu.Lock()
 	pc := c.pending[resp.ID]
 	delete(c.pending, resp.ID)
@@ -294,6 +315,14 @@ func reqLabel(req *request) string {
 	switch {
 	case req.Routes:
 		return "routes"
+	case req.Subscribe:
+		return "subscribe"
+	case req.Op == OpBind:
+		return fmt.Sprintf("bind %q", req.Name)
+	case req.Op == OpUnbind:
+		return fmt.Sprintf("unbind %q", req.Name)
+	case req.Op == OpMkcontext:
+		return fmt.Sprintf("mkcontext %q", req.Name)
 	case req.Paths != nil:
 		return fmt.Sprintf("resolve batch of %d", len(req.Paths))
 	default:
@@ -676,11 +705,22 @@ func (c *Client) Purges() int {
 	return c.purges
 }
 
+// Invalidations returns how many push invalidation frames this client has
+// consumed (always 0 without Subscribe).
+func (c *Client) Invalidations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invalidations
+}
+
 // Close fails every in-flight and future call with ErrClientClosed and
-// closes the connection, which also unblocks any caller leading a read.
+// closes the connection, which also unblocks any caller leading a read —
+// including the standing reader a subscription starts, which is then
+// joined so no goroutine outlives the client.
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() {
 		c.fail(ErrClientClosed)
 	})
+	c.readerWG.Wait()
 	return nil
 }

@@ -62,19 +62,37 @@ const serveWriteTimeout = time.Minute
 // resolutions complete, each tagged with the ID of the request it
 // answers.
 type Server struct {
-	world   *core.World
-	export  core.Context
-	workers int // per-connection resolver pool size; immutable after NewServer
+	world    *core.World
+	export   core.Context
+	workers  int  // per-connection resolver pool size; immutable after NewServer
+	readonly bool // immutable after NewServer; mutations are refused
+
+	// wmu serializes every binding mutation applied through this server
+	// (the wire write path and Stable). It is never held across wire I/O;
+	// replies are written after it is released. The snapshot keeper runs
+	// its snap closure under the same lock (via Stable), so a snapshot can
+	// never observe a half-applied mutation — the rev/snap pair it commits
+	// is torn-proof by construction.
+	wmu sync.Mutex
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
+	subs     map[*connState]struct{} // connections subscribed for push invalidation
 	closed   bool
 	served   int
 	resolved int
 	rev      uint64
 	routes   *RouteInfo
-	wg       sync.WaitGroup
+	// onMutation, when set, is called under wmu after each locally
+	// originated mutation commits — in commit order, which is what a
+	// primary-per-shard replicator needs to keep backups convergent.
+	onMutation func(AppliedMutation)
+	// exportRoot is the watched export root (set by WatchExport); watching
+	// reports whether the export is under revision watch at all.
+	exportRoot core.Entity
+	watching   bool
+	wg         sync.WaitGroup
 }
 
 // ServerOption configures a Server.
@@ -98,6 +116,17 @@ func WithWorkers(n int) ServerOption {
 	return workersOption(n)
 }
 
+type readonlyOption struct{}
+
+func (readonlyOption) apply(s *Server) { s.readonly = true }
+
+// WithReadOnly refuses every wire mutation with a clean error while
+// leaving resolution untouched. Useful for serving a frozen snapshot or
+// fencing a shard during maintenance.
+func WithReadOnly() ServerOption {
+	return readonlyOption{}
+}
+
 // NewServer returns a server exporting the given context of world.
 func NewServer(w *core.World, export core.Context, opts ...ServerOption) *Server {
 	s := &Server{
@@ -105,6 +134,7 @@ func NewServer(w *core.World, export core.Context, opts ...ServerOption) *Server
 		export:  export,
 		workers: runtime.GOMAXPROCS(0),
 		conns:   make(map[net.Conn]struct{}),
+		subs:    make(map[*connState]struct{}),
 	}
 	for _, o := range opts {
 		o.apply(s)
@@ -158,6 +188,30 @@ type connState struct {
 	wq        atomic.Int32  // declared write intents; >0 after our encode elides our flush
 	wdeadline time.Time     // armed write deadline; guarded by wtoken
 	deadOnce  sync.Once
+	// invalC carries revisions to this connection's pusher goroutine.
+	// Capacity 1 with drop-and-replace offers: consecutive bumps coalesce
+	// into one frame carrying the newest revision, so a write burst costs a
+	// slow subscriber at most one queued frame (the cache purge rule only
+	// cares about the latest revision anyway). Closed by ServeConn after
+	// the connection leaves the subscriber set.
+	invalC chan uint64
+}
+
+// offer queues rev for push without ever blocking: if a frame is already
+// queued it is superseded — the newer revision strictly dominates it.
+// Called with Server.mu held (channel ops are not wire I/O).
+func (st *connState) offer(rev uint64) {
+	for {
+		select {
+		case st.invalC <- rev:
+			return
+		default:
+		}
+		select {
+		case <-st.invalC: // drop the superseded frame
+		default:
+		}
+	}
 }
 
 // die marks the stream unusable: the conn closes, failing any in-progress
@@ -191,6 +245,13 @@ func (s *Server) ServeConn(conn net.Conn) {
 		wtoken: make(chan struct{}, 1),
 	}
 	st.enc = gob.NewEncoder(st.bw)
+	st.invalC = make(chan uint64, 1)
+	var pushWG sync.WaitGroup
+	pushWG.Add(1)
+	go func() {
+		defer pushWG.Done()
+		s.pushInvalidations(st)
+	}()
 	var wg sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
 		wg.Add(1)
@@ -200,6 +261,28 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}()
 	}
 	wg.Wait()
+	// The workers have drained: the conn is dead. Leave the subscriber set
+	// first (under mu, so no Bump can offer concurrently), then close the
+	// channel to stop the pusher, then join it.
+	s.mu.Lock()
+	delete(s.subs, st)
+	s.mu.Unlock()
+	close(st.invalC)
+	pushWG.Wait()
+}
+
+// pushInvalidations is a connection's push goroutine: it forwards every
+// revision offered on invalC to the peer as an unsolicited Invalidation
+// frame. Frames share the connection's write token with ordinary
+// responses, so a push can never tear a response mid-message. The
+// goroutine runs for every connection but stays parked until the peer
+// subscribes (only subscribers receive offers); it exits when ServeConn
+// closes invalC — or early, if the peer dies mid-push.
+func (s *Server) pushInvalidations(st *connState) {
+	for rev := range st.invalC {
+		resp := response{Rev: rev, Invalidation: true}
+		s.respond(st, &resp)
+	}
 }
 
 // serveRequests is one worker in a connection's leader/followers pool:
@@ -221,7 +304,19 @@ func (s *Server) serveRequests(st *connState) {
 			st.die() // EOF or broken peer; drain the rest of the pool
 			return
 		}
-		resp := s.handle(req)
+		var resp response
+		if req.Subscribe {
+			// Subscription needs the connection identity, so it is handled
+			// here rather than in handle. From the moment the connection
+			// joins the set, every bump is offered to it; the ack carries
+			// the current revision so the client starts from a known point.
+			s.mu.Lock()
+			s.subs[st] = struct{}{}
+			resp = response{Rev: s.rev}
+			s.mu.Unlock()
+		} else {
+			resp = s.handle(req)
+		}
 		resp.ID = req.ID
 		names := len(req.Paths)
 		if req.Paths == nil && !req.Routes {
@@ -267,6 +362,8 @@ func (s *Server) respond(st *connState, resp *response) {
 // handle serves one wire request.
 func (s *Server) handle(req request) response {
 	switch {
+	case req.Op != opNone:
+		return s.handleMutation(req)
 	case req.Routes:
 		s.mu.Lock()
 		routes := s.routes
@@ -332,14 +429,27 @@ func (s *Server) resolveOne(raw []string) result {
 	return result{ID: uint64(e.ID), Kind: uint8(e.Kind)}
 }
 
-// Bump advances the server's binding revision. Coherent client caches
-// purge their entries at the next round-trip after a bump, bounding cache
-// staleness to one request. Call it whenever the exported naming graph
-// changes, or let WatchExport do so automatically.
+// Bump advances the server's binding revision and fans the new revision
+// out to subscribed connections. Coherent client caches purge their
+// entries at the next round-trip after a bump — or on the pushed frame
+// itself when subscribed — bounding cache staleness to one request. Call
+// it whenever the exported naming graph changes, or let WatchExport do so
+// automatically.
+//
+//namingvet:revbump
 func (s *Server) Bump() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.rev++
+	s.notifyLocked(s.rev)
+}
+
+// notifyLocked offers rev to every subscribed connection's pusher.
+// Callers hold s.mu; offers never block (see connState.offer).
+func (s *Server) notifyLocked(rev uint64) {
+	for st := range s.subs {
+		st.offer(rev)
+	}
 }
 
 // Revision returns the current binding revision.
@@ -349,14 +459,33 @@ func (s *Server) Revision() uint64 {
 	return s.rev
 }
 
-// SetRevision installs an absolute binding revision. Recovery uses it to
-// resume a restored shard at the revision its snapshot was committed
-// under, so clients that survived the restart see a revision no older
-// than the one they already observed.
+// SetRevision advances the binding revision to at least rev. Recovery
+// uses it to resume a restored shard at the revision its snapshot was
+// committed under, and replicated applies use it to adopt the primary's
+// revision tag. It never moves the revision backwards: a client that
+// already observed a higher revision must not see this server "rewind"
+// past it, or the coherent-cache purge rule would admit stale entries as
+// current. An advance notifies subscribers exactly like Bump.
+//
+//namingvet:revbump
 func (s *Server) SetRevision(rev uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.rev = rev
+	if rev > s.rev {
+		s.rev = rev
+		s.notifyLocked(s.rev)
+	}
+}
+
+// Stable runs fn under the lock that serializes binding mutations: no
+// wire write can commit while fn runs. The snapshot keeper routes its
+// rev-probe/snapshot pair through Stable so the pair is consistent — a
+// snapshot can never capture a mutation the probed revision predates.
+// fn must not call back into the server's mutation path.
+func (s *Server) Stable(fn func()) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	fn()
 }
 
 // SetRoutes installs the routing table this server hands to clients that
@@ -370,12 +499,28 @@ func (s *Server) SetRoutes(routes *RouteInfo) {
 
 // WatchExport wraps every directory reachable from root so that any
 // binding change bumps the server revision, and returns how many
-// directories are now watched. Directories created later are not covered
-// until WatchExport is called again.
+// directories are now watched. The watch is self-extending: when a
+// binding introduces an entity, every directory reachable through it is
+// watched too, so directories created (or attached) after watch time
+// cannot mutate silently — the hole that once let a bind in a freshly
+// made context leave client caches stale.
 func (s *Server) WatchExport(root core.Entity) int {
-	return s.world.WatchReachable(root, func(core.Name, core.Entity) {
-		s.Bump()
-	})
+	s.mu.Lock()
+	s.exportRoot = root
+	s.watching = true
+	s.mu.Unlock()
+	return s.world.WatchReachable(root, s.exportWatch)
+}
+
+// exportWatch is the watch callback installed on every exported
+// directory: bump the revision, then extend the watch over whatever the
+// change made reachable. The recursion terminates because WatchReachable
+// skips already-watched directories.
+func (s *Server) exportWatch(_ core.Name, e core.Entity) {
+	s.Bump()
+	if !e.IsUndefined() {
+		s.world.WatchReachable(e, s.exportWatch)
+	}
 }
 
 // Served returns the number of wire requests handled so far (a batch

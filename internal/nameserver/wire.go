@@ -13,23 +13,61 @@ package nameserver
 
 import "encoding/gob"
 
+// Mutation opcodes carried in request.Op. Zero means "not a mutation":
+// the request is a resolve, batch, routing fetch, or subscription. The
+// non-zero values are exported because the cluster replicator re-issues
+// committed mutations to backup replicas using the same opcodes.
+const (
+	opNone      uint8 = iota
+	OpBind            // bind Name in the directory at Path to Target
+	OpUnbind          // remove the binding for Name in the directory at Path
+	OpMkcontext       // create a directory named Name under the directory at Path
+)
+
 // request is one message from client to server. ID tags the request for
-// multiplexing; exactly one of the three request forms is used per
-// message: a single resolve (Path), a batched resolve (Paths — one
-// round-trip resolves every element), or a routing fetch (Routes —
-// cluster clients bootstrap the shard map from any member).
+// multiplexing; exactly one request form is used per message: a single
+// resolve (Path with Op zero), a batched resolve (Paths — one round-trip
+// resolves every element), a routing fetch (Routes — cluster clients
+// bootstrap the shard map from any member), a subscription (Subscribe —
+// the server pushes invalidation frames on every revision advance for the
+// rest of the connection), or a mutation (Op non-zero — bind, unbind or
+// mkcontext against the exported graph, under the revision discipline).
 type request struct {
 	// ID is the client-assigned pipelining tag, echoed verbatim in the
 	// response so the client can pair answers with in-flight calls.
 	// Clients assign IDs monotonically per connection; the server treats
 	// them as opaque.
 	ID uint64
-	// Path is the compound name, one component per element.
+	// Path is the compound name, one component per element. For a
+	// mutation it names the directory being mutated (empty: the export
+	// root).
 	Path []string
 	// Paths, when non-nil, is a batch of compound names.
 	Paths [][]string
 	// Routes requests the server's routing table.
 	Routes bool
+	// Subscribe registers this connection for push invalidation: from the
+	// acknowledging response on, every revision advance is fanned out to
+	// the connection as an unsolicited Invalidation frame.
+	Subscribe bool
+	// Op is the mutation opcode (opBind, opUnbind, opMkcontext); zero for
+	// non-mutating requests.
+	Op uint8
+	// Name is the binding being created or removed by a mutation.
+	Name string
+	// Target identifies the entity Name is bound to (opBind only): the
+	// entity's ID and kind as previously resolved over this protocol.
+	Target     uint64
+	TargetKind uint8
+	// AtRev, when non-zero, tags a replicated apply: the mutation was
+	// already committed by the shard's primary at this revision, and the
+	// replica must adopt it (monotonically) rather than mint its own.
+	AtRev uint64
+	// Twin, for a replicated opMkcontext apply, is the entity ID of the
+	// directory the primary created, so the replica can register its own
+	// fresh directory in the same replica group — keeping weak coherence
+	// measurable across the write path.
+	Twin uint64
 }
 
 // result is one resolution outcome inside a batched response.
@@ -41,17 +79,21 @@ type result struct {
 	Err string
 }
 
-// response is the server's answer. Responses may be written out of
-// request order; ID says which request each one answers.
+// response is the server's answer — or, with Invalidation set, a
+// server-initiated push frame. Responses may be written out of request
+// order; ID says which request each one answers.
 type response struct {
-	// ID echoes the request's pipelining tag.
+	// ID echoes the request's pipelining tag. Push invalidation frames
+	// answer no request and carry ID 0, which clients never assign.
 	ID uint64
-	// Ent and Kind identify the resolved entity (0 on failure).
+	// Ent and Kind identify the resolved entity (0 on failure). A
+	// mutation that creates an entity (mkcontext) reports it here.
 	Ent  uint64
 	Kind uint8
 	// Rev is the server's binding revision at answer time; coherent client
 	// caches purge stale entries when it advances. For a batch it covers
-	// every element.
+	// every element; for a mutation it is the revision the mutation
+	// committed at; for an invalidation frame it is the revision pushed.
 	Rev uint64
 	// Err carries the failure message, empty on success.
 	Err string
@@ -59,6 +101,10 @@ type response struct {
 	Results []result
 	// Routes answers a routing fetch.
 	Routes *RouteInfo
+	// Invalidation marks a server-initiated push frame: the exported
+	// graph changed and caches vouched for below Rev are stale. Sent only
+	// on subscribed connections (see request.Subscribe).
+	Invalidation bool
 }
 
 // RouteInfo describes a sharded deployment of one logical naming graph:
