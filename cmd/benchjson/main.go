@@ -1,8 +1,9 @@
 // Command benchjson converts `go test -bench` text output into JSON so CI
 // can publish benchmark numbers as a machine-readable artifact. It reads
 // benchmark output on stdin and writes one JSON object to stdout mapping
-// each benchmark name to its iteration count, ns/op, and any custom
-// metrics (names/s and friends reported via b.ReportMetric).
+// each benchmark name to its iteration count, ns/op, the allocation pair
+// -benchmem reports (B/op, allocs/op), and any custom metrics (names/s
+// and friends reported via b.ReportMetric).
 //
 // Usage:
 //
@@ -24,11 +25,16 @@ import (
 	"strings"
 )
 
-// result holds the parsed measurements for one benchmark name.
+// result holds the parsed measurements for one benchmark name. The
+// allocation pair is pointer-typed so runs without -benchmem omit the
+// fields instead of reporting a fictitious zero — an allocs_per_op of 0
+// is a claim (the allocfree paths make exactly that claim), not a default.
 type result struct {
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 
 	runs int64 // how many result lines were folded in (for averaging)
 }
@@ -59,6 +65,12 @@ func parseLine(line string) (name string, r result, ok bool) {
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
 		default:
 			if r.Metrics == nil {
 				r.Metrics = make(map[string]float64)
@@ -75,6 +87,8 @@ func fold(acc *result, r result) {
 	n := float64(acc.runs)
 	acc.NsPerOp = (acc.NsPerOp*n + r.NsPerOp) / (n + 1)
 	acc.Iterations += r.Iterations
+	acc.BytesPerOp = foldPtr(acc.BytesPerOp, r.BytesPerOp, n)
+	acc.AllocsPerOp = foldPtr(acc.AllocsPerOp, r.AllocsPerOp, n)
 	for unit, v := range r.Metrics {
 		if acc.Metrics == nil {
 			acc.Metrics = make(map[string]float64)
@@ -82,6 +96,25 @@ func fold(acc *result, r result) {
 		acc.Metrics[unit] = (acc.Metrics[unit]*n + v) / (n + 1)
 	}
 	acc.runs++
+}
+
+// foldPtr averages an optional measurement across runs. A run missing the
+// measurement counts as zero once any run reported it — mixed streams only
+// arise from concatenating -benchmem and plain output, and a visible dip
+// beats silently dropping the runs that did measure.
+func foldPtr(acc, v *float64, n float64) *float64 {
+	if acc == nil && v == nil {
+		return nil
+	}
+	var a, b float64
+	if acc != nil {
+		a = *acc
+	}
+	if v != nil {
+		b = *v
+	}
+	m := (a*n + b) / (n + 1)
+	return &m
 }
 
 // convert reads benchmark text from in and writes the JSON document to out.

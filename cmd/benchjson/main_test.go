@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,6 +69,53 @@ BenchmarkX-1   300   30 ns/op   3000 names/s
 	}
 	if got := x.Metrics["names/s"]; got != 2000 {
 		t.Errorf("names/s = %v, want average 2000", got)
+	}
+}
+
+// TestConvertBenchmemGolden pins the full output for a -benchmem stream:
+// B/op and allocs/op are promoted to dedicated fields (averaged across
+// repeated runs like everything else), custom metrics keep riding in
+// metrics, and lines measured without -benchmem omit the allocation pair
+// rather than claiming zero.
+func TestConvertBenchmemGolden(t *testing.T) {
+	in, err := os.ReadFile(filepath.Join("testdata", "benchmem.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "benchmem.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := convert(bytes.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), golden) {
+		t.Errorf("output drifted from testdata/benchmem.golden.json:\n got: %s\nwant: %s", out.Bytes(), golden)
+	}
+}
+
+// TestConvertBenchmemFields spot-checks the parsed values behind the
+// golden file, so a failure names the broken field instead of a diff.
+func TestConvertBenchmemFields(t *testing.T) {
+	in := `BenchmarkY-8   1000   50 ns/op   128 B/op   4 allocs/op
+BenchmarkY-8   1000   70 ns/op   64 B/op   2 allocs/op
+BenchmarkZ-8   500   90 ns/op
+`
+	doc := parse(t, in)
+	y := doc["BenchmarkY-8"]
+	if y.BytesPerOp == nil || *y.BytesPerOp != 96 {
+		t.Errorf("bytes_per_op = %v, want average 96", y.BytesPerOp)
+	}
+	if y.AllocsPerOp == nil || *y.AllocsPerOp != 3 {
+		t.Errorf("allocs_per_op = %v, want average 3", y.AllocsPerOp)
+	}
+	if len(y.Metrics) != 0 {
+		t.Errorf("allocation pair leaked into metrics: %v", y.Metrics)
+	}
+	z := doc["BenchmarkZ-8"]
+	if z.BytesPerOp != nil || z.AllocsPerOp != nil {
+		t.Errorf("plain run invented an allocation pair: %+v", z)
 	}
 }
 

@@ -18,6 +18,7 @@ package main
 
 import (
 	"namecoherence/internal/analysis"
+	"namecoherence/internal/analysis/allocfree"
 	"namecoherence/internal/analysis/bindingsleak"
 	"namecoherence/internal/analysis/casimmut"
 	"namecoherence/internal/analysis/conndeadline"
@@ -42,6 +43,7 @@ var suite = []*analysis.Analyzer{
 	goroleak.Analyzer,
 	registrycheck.Analyzer,
 	mutbump.Analyzer,
+	allocfree.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,16 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/allocfree"
+	"namecoherence/internal/analysis/analysistest"
+)
+
+func TestAllocfreeViolations(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "hotpath")
+}
+
+func TestAllocfreeClean(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer, "steady")
+}

@@ -1,0 +1,14 @@
+// Package codec is the cross-package half of the hotpath fixture: its
+// exported Allocates/EscapesToHeap facts must reach the importing package
+// and convict the annotated root there.
+package codec
+
+// Marshal allocates: the joined representation escapes by being returned.
+func Marshal(parts []string) []byte {
+	out := make([]byte, 0, len(parts)*8)
+	for _, p := range parts {
+		out = append(out, p...)
+		out = append(out, 0)
+	}
+	return out
+}

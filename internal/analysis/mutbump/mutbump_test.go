@@ -10,3 +10,11 @@ import (
 func TestMutbump(t *testing.T) {
 	analysistest.Run(t, mutbump.Analyzer, "nameserver")
 }
+
+// TestMutbumpOutOfScope pins the scope gate: the workload fixture commits
+// the same unbumped mutations as the nameserver fixture but lives outside
+// the Scope package list, so the analyzer must report nothing (the fixture
+// has zero want comments — any diagnostic fails the run).
+func TestMutbumpOutOfScope(t *testing.T) {
+	analysistest.Run(t, mutbump.Analyzer, "workload")
+}

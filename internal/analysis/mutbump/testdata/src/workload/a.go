@@ -1,0 +1,40 @@
+// Package workload is the negative fixture for mutbump's scope gate: the
+// package path contains none of the Scope markers (nameserver, cluster,
+// replsvc), so the analyzer must stay silent even though every function
+// here commits the exact violation the in-scope fixture reports — binding
+// mutations on context-shaped values that never reach a revision bump.
+// Benchmark drivers and test harnesses assemble trees like this all the
+// time; a revision obligation on them would be pure noise. This file
+// deliberately expects zero diagnostics: a single report is a failure.
+package workload
+
+// Name and Entity stand in for the core types.
+type Name string
+type Entity struct{ ID uint64 }
+
+// BasicContext is context-shaped — the same duck type the in-scope
+// fixture uses, so silence here is attributable to scope, not shape.
+type BasicContext struct{ m map[Name]Entity }
+
+func (c *BasicContext) Lookup(n Name) Entity  { return c.m[n] }
+func (c *BasicContext) Bind(n Name, e Entity) { c.m[n] = e }
+func (c *BasicContext) Unbind(n Name)         { delete(c.m, n) }
+func (c *BasicContext) Names() []Name         { return nil }
+
+// populate is construction-time assembly: mutations with no bump in
+// sight. In a server package this would be two diagnostics.
+func populate(c *BasicContext) {
+	c.Bind("usr", Entity{ID: 1})
+	c.Bind("tmp", Entity{ID: 2})
+}
+
+// churn is a benchmark-style mutation loop, bump-free by design.
+func churn(c *BasicContext, names []Name) {
+	for _, n := range names {
+		c.Bind(n, Entity{ID: 7})
+		c.Unbind(n)
+	}
+}
+
+var _ = populate
+var _ = churn

@@ -48,6 +48,21 @@ type FuncSummary struct {
 	// directly or transitively. mutbump uses this for its "mutates a
 	// binding, never bumps the revision" rule.
 	ReachesRevBump bool `json:",omitempty"`
+	// Allocates: the body itself contains steady-path heap-allocation
+	// evidence (direct only; see alloc.go for the evidence catalogue).
+	// Sites on a //namingvet:allocfree-exempt line and bodies of exempt
+	// functions contribute nothing.
+	Allocates bool `json:",omitempty"`
+	// EscapesToHeap: calling the function may allocate — it Allocates
+	// itself or reaches a function that does (transitive, with exempt
+	// call sites and exempt callees excluded). allocfree reports any
+	// //namingvet:allocfree root whose closure has this set.
+	EscapesToHeap bool `json:",omitempty"`
+	// AllocVia, when EscapesToHeap is set, is a human-readable sample of
+	// one allocation the function reaches — nested across packages, so a
+	// diagnostic at an annotated root can show the whole chain down to
+	// the allocating expression.
+	AllocVia string `json:",omitempty"`
 }
 
 // Summaries maps FuncKey strings to summaries. Keys use types.Func.FullName
@@ -74,6 +89,13 @@ type WireEvent struct {
 	IdleExempt bool
 }
 
+// AllocSite is one steady-path allocation observed in a function body:
+// the expression's position and a description of why it allocates.
+type AllocSite struct {
+	Pos  token.Pos
+	Desc string
+}
+
 // FuncFacts couples a declared function's syntax with its computed summary
 // and the event list conndeadline reports from.
 type FuncFacts struct {
@@ -81,6 +103,17 @@ type FuncFacts struct {
 	Decl    *ast.FuncDecl
 	Summary FuncSummary
 	Events  []WireEvent
+	// Allocs lists the body's non-exempt allocation sites in lexical
+	// order (empty for //namingvet:allocfree-exempt functions).
+	Allocs []AllocSite
+	// AllocFreeRoot: the declaration carries //namingvet:allocfree — the
+	// function and everything it transitively reaches must not allocate
+	// on the steady path.
+	AllocFreeRoot bool
+	// AllocExempt: the declaration carries //namingvet:allocfree-exempt —
+	// the body is off the steady path (error teardown, cold setup) and
+	// contributes no allocation evidence.
+	AllocExempt bool
 	// Exonerated: every same-package call site of this (unexported,
 	// never used as a value) function is deadline-guarded, so its
 	// unguarded events are the callers' responsibility — already
@@ -101,6 +134,16 @@ type PackageFacts struct {
 	Graph *CallGraph
 
 	byFn map[*types.Func]*FuncFacts
+	// allocExempt marks the lines //namingvet:allocfree-exempt covers
+	// (the directive's line and the next): allocation evidence there is
+	// dropped and call edges there do not propagate allocation facts.
+	allocExempt map[string]map[int]bool
+}
+
+// AllocExemptAt reports whether posn sits on a line covered by a
+// //namingvet:allocfree-exempt directive.
+func (pf *PackageFacts) AllocExemptAt(posn token.Position) bool {
+	return pf.allocExempt[posn.Filename][posn.Line]
 }
 
 // OwnFacts returns the facts for a function declared in this package, or
@@ -117,6 +160,17 @@ const CanonicalizerDirective = "//namingvet:canonicalizer"
 // advance: callers mutating bindings discharge the coherence obligation
 // by reaching one of these before replying.
 const RevBumpDirective = "//namingvet:revbump"
+
+// AllocFreeDirective in a function's doc comment declares the function an
+// allocation-free root: it and everything it transitively reaches must not
+// allocate on the steady path (allocfree enforces it).
+const AllocFreeDirective = "//namingvet:allocfree"
+
+// AllocFreeExemptDirective marks cold code the allocfree discipline skips:
+// on a function's doc comment the whole body is exempt; on or above a
+// statement line (optionally with `-- reason`) just that line is. Error
+// construction, teardown, and one-time setup live behind it.
+const AllocFreeExemptDirective = "//namingvet:allocfree-exempt"
 
 // atoms are the raw, position-ordered observations collected from one body
 // before any fixpoint runs.
@@ -168,6 +222,8 @@ func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
 		if hasDirective(decl.Doc, RevBumpDirective) {
 			ff.Summary.RevBumps = true
 		}
+		ff.AllocFreeRoot = hasDirective(decl.Doc, AllocFreeDirective)
+		ff.AllocExempt = hasDirective(decl.Doc, AllocFreeExemptDirective)
 		ff.Summary.AcquiresLock = a.lock
 		ff.Summary.SpawnsGoroutine = a.spawns
 		ff.Summary.SetsDeadline = len(a.deadlinePos) > 0
@@ -228,6 +284,7 @@ func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
 	}
 
 	deadlineFlow(pkg, pf, obs)
+	allocFlow(pkg, pf, obs)
 
 	for _, ff := range pf.Own {
 		pf.All[FuncKey(ff.Fn)] = ff.Summary
@@ -297,15 +354,27 @@ func collectAtoms(pkg *Package, decl *ast.FuncDecl) *atoms {
 }
 
 // hasDirective reports whether the doc comment group contains the given
-// //namingvet:… directive as a full line.
+// //namingvet:… directive as a full line, optionally followed by a
+// `-- reason` tail.
 func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	if doc == nil {
 		return false
 	}
 	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == directive {
+		if directiveMatches(c.Text, directive) {
 			return true
 		}
 	}
 	return false
+}
+
+// directiveMatches reports whether the comment text is the directive, bare
+// or with a `-- reason` tail.
+func directiveMatches(text, directive string) bool {
+	text = strings.TrimSpace(text)
+	if text == directive {
+		return true
+	}
+	rest, ok := strings.CutPrefix(text, directive)
+	return ok && strings.HasPrefix(strings.TrimLeft(rest, " \t"), "--")
 }

@@ -47,13 +47,28 @@ func PathOf(names ...Name) Path {
 }
 
 // String renders the path with the conventional separator and no leading
-// separator.
+// separator. Client caches key on it for every lookup, so it allocates at
+// most once: single-component paths convert for free, longer ones build
+// into one exactly-sized buffer instead of a parts slice plus a Join.
 func (p Path) String() string {
-	parts := make([]string, len(p))
-	for i, n := range p {
-		parts[i] = string(n)
+	switch len(p) {
+	case 0:
+		return ""
+	case 1:
+		return string(p[0])
 	}
-	return strings.Join(parts, Separator)
+	size := (len(p) - 1) * len(Separator)
+	for _, n := range p {
+		size += len(n)
+	}
+	var b strings.Builder
+	b.Grow(size)
+	b.WriteString(string(p[0]))
+	for _, n := range p[1:] {
+		b.WriteString(Separator)
+		b.WriteString(string(n))
+	}
+	return b.String()
 }
 
 // Clone returns an independent copy of the path.

@@ -43,9 +43,35 @@ func (e *NotContextError) Error() string {
 //
 // It returns the denoted entity, or Undefined together with a *NotFoundError
 // or *NotContextError describing where resolution failed.
+//
+// The loop deliberately duplicates ResolveTrail rather than delegating to
+// it: this is the server's per-request resolution path, and the trail —
+// which that variant must heap-allocate to return — would be built and
+// discarded on every wire resolve. Only the failure branches allocate,
+// constructing their errors.
 func (w *World) Resolve(c Context, p Path) (Entity, error) {
-	e, _, err := w.ResolveTrail(c, p)
-	return e, err
+	if len(p) == 0 {
+		return Undefined, ErrEmptyPath
+	}
+	cur := c
+	for i, n := range p {
+		e := cur.Lookup(n)
+		if e.IsUndefined() {
+			//namingvet:allocfree-exempt -- cold: failed resolution constructs its error
+			return Undefined, &NotFoundError{Path: p.Clone(), Depth: i}
+		}
+		if i == len(p)-1 {
+			return e, nil
+		}
+		next, ok := w.ContextOf(e)
+		if !ok {
+			//namingvet:allocfree-exempt -- cold: failed resolution constructs its error
+			return Undefined, &NotContextError{Entity: e, Path: p.Clone(), Depth: i}
+		}
+		cur = next
+	}
+	// Unreachable: the loop returns on the last component.
+	return Undefined, ErrEmptyPath
 }
 
 // ResolveTrail resolves p in c and additionally returns the trail of

@@ -1,0 +1,119 @@
+//go:build !race
+
+// Allocation-floor regression tests for the //namingvet:allocfree wire
+// roots. allocfree proves the annotated paths reach no allocating code
+// outside the exempted gob calls; these tests pin the measured floors at
+// runtime, so a change that reintroduces a per-request allocation fails
+// go test even if nobody reads a benchmark. Excluded under -race: the race
+// runtime adds its own allocations and would skew every floor.
+package nameserver
+
+import (
+	"testing"
+
+	"namecoherence/internal/core"
+)
+
+// allocFloor asserts that f averages at most want allocations per run.
+// Floors are ceilings, not equalities: a future change that shaves another
+// allocation should not fail the suite.
+func allocFloor(t *testing.T, name string, want float64, f func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(200, f); got > want {
+		t.Errorf("%s: %.1f allocs/op, want ≤ %.0f — an allocation crept onto an allocfree wire path", name, got, want)
+	}
+}
+
+// TestServerResolveAllocFree pins the server's whole resolve path —
+// handle → resolveOne → checkWireCanonical → World.Resolve — at zero
+// allocations once the worker's scratch has warmed up. This is the
+// decode→resolve→encode worker loop minus the two exempted gob calls.
+func TestServerResolveAllocFree(t *testing.T) {
+	w, tr, _ := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+
+	sc := &workerScratch{req: request{Path: []string{"usr", "bin", "ls"}}}
+	allocFloor(t, "handle/resolve", 0, func() {
+		if resp := s.handle(sc); resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+	})
+
+	sc = &workerScratch{req: request{Paths: [][]string{
+		{"usr", "bin", "ls"},
+		{"usr", "bin"},
+		{"usr"},
+	}}}
+	allocFloor(t, "handle/resolve-batch", 0, func() {
+		if resp := s.handle(sc); resp.Err != "" {
+			t.Fatal(resp.Err)
+		}
+	})
+}
+
+// TestAdmitRevisionAllocFree pins the coherent cache's admission rule at
+// zero allocations: every iteration advances the revision (driving the
+// purge branch), then probes a stale revision (the refusal branch). The
+// cache entry planted up front is purged by the warm-up advance, so the
+// purge-with-entries case runs under measurement discipline too.
+func TestAdmitRevisionAllocFree(t *testing.T) {
+	c := &Client{}
+	WithCoherentCache(8).apply(c)
+	c.mu.Lock()
+	c.cache.Put("usr/bin/ls", core.Entity{ID: 1})
+	c.mu.Unlock()
+	rev := uint64(0)
+	allocFloor(t, "admitRevision", 0, func() {
+		c.mu.Lock()
+		rev++
+		if !c.admitRevision(rev) {
+			t.Fatal("advanced revision refused")
+		}
+		if c.admitRevision(rev - 1) {
+			t.Fatal("stale revision admitted")
+		}
+		c.mu.Unlock()
+	})
+}
+
+// TestCachedResolveAllocFloor pins the client's cache-hit path at one
+// allocation: the cache key (Path.String of a multi-component name).
+// Nothing crosses the wire on a hit, so send/lead stay idle and the floor
+// is the key build alone.
+func TestCachedResolveAllocFloor(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	c := pipeClient(t, s, WithCache(8))
+
+	p := core.ParsePath("usr/bin/ls")
+	if got, err := c.Resolve(p); err != nil || got != f {
+		t.Fatalf("prime Resolve = %v, %v", got, err)
+	}
+	allocFloor(t, "Resolve/cache-hit", 1, func() {
+		if _, err := c.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRoundTripAllocFloor pins the full uncached round-trip — call
+// bookkeeping, send, the server worker pool, lead — at the measured
+// post-fix floor. The remaining allocations are the per-call pendingCall
+// and done channel plus gob's own encode/decode machinery on both ends
+// (the exempted calls the binary codec will replace); EXPERIMENTS.md
+// records the trajectory.
+func TestRoundTripAllocFloor(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	c := pipeClient(t, s)
+
+	p := core.ParsePath("usr/bin/ls")
+	if got, err := c.Resolve(p); err != nil || got != f {
+		t.Fatalf("prime Resolve = %v, %v", got, err)
+	}
+	allocFloor(t, "Resolve/round-trip", 13, func() {
+		if _, err := c.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -23,10 +23,12 @@ var ErrNotCanonical = errors.New("name is not wire-canonical")
 // wire, which is precisely the incoherence §6 forbids.
 func checkWireCanonical(p core.Path) error {
 	if !p.IsValid() {
+		//namingvet:allocfree-exempt -- cold: a rejected name formats its error
 		return fmt.Errorf("path %q: %w", p.String(), ErrNotCanonical)
 	}
 	for _, n := range p {
 		if strings.Contains(string(n), core.Separator) {
+			//namingvet:allocfree-exempt -- cold: a rejected name formats its error
 			return fmt.Errorf("component %q of %q contains %q: %w",
 				string(n), p.String(), core.Separator, ErrNotCanonical)
 		}

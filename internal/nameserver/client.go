@@ -72,6 +72,7 @@ type Client struct {
 	rtoken    chan struct{} // capacity 1; held by the leading reader
 	wq        atomic.Int32  // declared write intents; >0 after our encode elides our flush
 	wdeadline time.Time     // armed write deadline; guarded by wtoken
+	rresp     response      // lead's reusable decode target; guarded by rtoken
 
 	closeOnce sync.Once
 
@@ -201,6 +202,8 @@ func DialTimeout(network, addr string, timeout time.Duration, opts ...ClientOpti
 // lazily at half horizon and rides across sends — a stuck write dies
 // between half the bound and the full bound after it starts, and the
 // hot path almost never touches the runtime timer.
+//
+//namingvet:allocfree
 func (c *Client) send(pc *pendingCall) error {
 	d := clientWriteTimeout
 	if c.timeout > 0 && c.timeout < d {
@@ -210,6 +213,7 @@ func (c *Client) send(pc *pendingCall) error {
 		c.wdeadline = now.Add(d)
 		_ = c.conn.SetWriteDeadline(c.wdeadline)
 	}
+	//namingvet:allocfree-exempt -- gob encode allocates until the binary codec lands
 	err := c.enc.Encode(&pc.req)
 	if rem := c.wq.Add(-1); err == nil && (rem == 0 || c.timeout > 0) {
 		err = c.bw.Flush()
@@ -229,6 +233,13 @@ func (c *Client) send(pc *pendingCall) error {
 // poisons, so trading the wrecked gob stream for a dead conn loses
 // nothing. Each leader re-arms on taking the token, so the deadline in
 // force is always the current leader's.
+//
+// The decode target is a scratch field reused across iterations and
+// leaders (rtoken guards it, and dispatch copies the response out before
+// the next decode), so the response struct itself stays off the heap on
+// every delivery.
+//
+//namingvet:allocfree
 func (c *Client) lead(pc *pendingCall, deadline time.Time) {
 	if !deadline.IsZero() {
 		_ = c.conn.SetReadDeadline(deadline)
@@ -239,21 +250,32 @@ func (c *Client) lead(pc *pendingCall, deadline time.Time) {
 			return
 		default:
 		}
-		var resp response
-		if err := c.dec.Decode(&resp); err != nil {
-			var nerr net.Error
-			switch {
-			case errors.As(err, &nerr) && nerr.Timeout():
-				err = fmt.Errorf("poisoned by call timeout: %w", os.ErrDeadlineExceeded)
-			case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
-				err = fmt.Errorf("server closed: %w", err)
-			default:
-				err = fmt.Errorf("recv response: %w", err)
-			}
-			c.fail(err)
+		// Zero the scratch before reuse: gob merges into an existing value,
+		// so a field the next message omits would leak the previous one.
+		c.rresp = response{}
+		//namingvet:allocfree-exempt -- gob decode allocates until the binary codec lands
+		if err := c.dec.Decode(&c.rresp); err != nil {
+			c.fail(recvFailure(err))
 			return
 		}
-		c.dispatch(&resp)
+		c.dispatch(&c.rresp)
+	}
+}
+
+// recvFailure classifies a dead read stream for fail: a deadline read
+// poisons like a call timeout, EOF means the server went away, anything
+// else is a transport fault.
+//
+//namingvet:allocfree-exempt -- cold: a dying stream formats its epitaph
+func recvFailure(err error) error {
+	var nerr net.Error
+	switch {
+	case errors.As(err, &nerr) && nerr.Timeout():
+		return fmt.Errorf("poisoned by call timeout: %w", os.ErrDeadlineExceeded)
+	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("server closed: %w", err)
+	default:
+		return fmt.Errorf("recv response: %w", err)
 	}
 }
 
@@ -289,6 +311,8 @@ func (c *Client) dispatch(resp *response) {
 // calls fail fast, and the connection is closed (unhanging any reader and
 // any in-progress write). Only the first error sticks; later calls keep
 // reporting it.
+//
+//namingvet:allocfree-exempt -- cold: poisoning gathers the stranded calls once, at death
 func (c *Client) fail(err error) {
 	c.pmu.Lock()
 	if c.broken == nil {
@@ -483,6 +507,8 @@ func (c *Client) expire(pc *pendingCall) (response, error) {
 // round-trip — the first response resolved after a server-side bump
 // carries the advanced revision and evicts everything older, while late
 // pre-bump stragglers are served to their caller but never cached.
+//
+//namingvet:allocfree
 func (c *Client) admitRevision(rev uint64) bool {
 	if !c.coherent {
 		return true
@@ -502,9 +528,13 @@ func (c *Client) admitRevision(rev uint64) bool {
 // Resolve resolves the compound name at the server (or the cache). Names
 // that are not wire-canonical fail client-side with ErrNotCanonical
 // before anything crosses the wire.
+//
+// A cache hit validates the name but does not build its wire form: the
+// canonical []string is only materialized once the resolution actually
+// has to cross the wire, so the hit path pays for the cache key and
+// nothing else.
 func (c *Client) Resolve(p core.Path) (core.Entity, error) {
-	raw, err := CanonicalWirePath(p)
-	if err != nil {
+	if err := checkWireCanonical(p); err != nil {
 		return core.Undefined, err
 	}
 	var key string
@@ -518,6 +548,8 @@ func (c *Client) Resolve(p core.Path) (core.Entity, error) {
 		}
 		c.mu.Unlock()
 	}
+	// Already validated above; the error cannot recur.
+	raw, _ := CanonicalWirePath(p)
 
 	req := request{Path: raw}
 	resp, err := c.call(req)

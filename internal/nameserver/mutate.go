@@ -238,8 +238,13 @@ func (s *Server) joinTwinGroup(twin core.EntityID, created core.Entity) {
 	}
 }
 
-// handleMutation serves one wire mutation request.
-func (s *Server) handleMutation(req request) response {
+// handleMutation serves one wire mutation request. Mutations allocate per
+// write by design — a fresh path for the mutation record, error text on
+// refusal — so the whole body sits outside the read path's allocfree
+// discipline until write batching gives it a steady state worth guarding.
+//
+//namingvet:allocfree-exempt -- writes allocate per mutation by design; only the resolve path is steady
+func (s *Server) handleMutation(req *request) response {
 	p := make(core.Path, len(req.Path))
 	for i, c := range req.Path {
 		p[i] = core.Name(c)

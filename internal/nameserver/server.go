@@ -285,6 +285,17 @@ func (s *Server) pushInvalidations(st *connState) {
 	}
 }
 
+// workerScratch is one resolver goroutine's reusable state: the decode
+// target and the path/results buffers resolution fills. Workers never
+// share a scratch, so steady-state serving touches the allocator only
+// where gob itself does (the exempt decode/encode calls below — the PR 9
+// binary codec's target).
+type workerScratch struct {
+	req     request
+	path    core.Path
+	results []result
+}
+
 // serveRequests is one worker in a connection's leader/followers pool:
 // whoever holds the decode token reads the next request, releases the
 // token so another worker can read the one after, then resolves and
@@ -292,20 +303,26 @@ func (s *Server) pushInvalidations(st *connState) {
 // single-streamed while up to s.workers resolutions run concurrently —
 // and a serial client's request runs decode→resolve→encode on one
 // goroutine with no handoffs at all.
+//
+//namingvet:allocfree
 func (s *Server) serveRequests(st *connState) {
+	var sc workerScratch
 	for {
 		st.dtoken <- struct{}{}
-		var req request
+		// Zero the scratch before reuse: gob merges into an existing value,
+		// so a field the next message omits would leak the previous one.
+		sc.req = request{}
 		// An idle read blocks until the peer speaks; Close unblocks it by
 		// closing the conn (conndeadline's idle-loop exemption knows this).
-		err := st.dec.Decode(&req)
+		//namingvet:allocfree-exempt -- gob decode allocates until the binary codec lands
+		err := st.dec.Decode(&sc.req)
 		<-st.dtoken
 		if err != nil {
 			st.die() // EOF or broken peer; drain the rest of the pool
 			return
 		}
 		var resp response
-		if req.Subscribe {
+		if sc.req.Subscribe {
 			// Subscription needs the connection identity, so it is handled
 			// here rather than in handle. From the moment the connection
 			// joins the set, every bump is offered to it; the ack carries
@@ -315,11 +332,11 @@ func (s *Server) serveRequests(st *connState) {
 			resp = response{Rev: s.rev}
 			s.mu.Unlock()
 		} else {
-			resp = s.handle(req)
+			resp = s.handle(&sc)
 		}
-		resp.ID = req.ID
-		names := len(req.Paths)
-		if req.Paths == nil && !req.Routes {
+		resp.ID = sc.req.ID
+		names := len(sc.req.Paths)
+		if sc.req.Paths == nil && !sc.req.Routes {
 			names = 1
 		}
 		s.mu.Lock()
@@ -345,6 +362,7 @@ func (s *Server) respond(st *connState, resp *response) {
 		st.wdeadline = now.Add(serveWriteTimeout)
 		_ = st.conn.SetWriteDeadline(st.wdeadline)
 	}
+	//namingvet:allocfree-exempt -- gob encode allocates until the binary codec lands
 	err := st.enc.Encode(resp)
 	if rem := st.wq.Add(-1); err == nil && rem == 0 {
 		// Flush at the message boundary: gob alone issues several small
@@ -359,8 +377,23 @@ func (s *Server) respond(st *connState, resp *response) {
 	}
 }
 
-// handle serves one wire request.
-func (s *Server) handle(req request) response {
+// handle serves one wire request from sc.req, resolving into the worker's
+// scratch buffers.
+//
+// The resolve cases return a revision consistent with the bindings they
+// read, re-resolving until the revision settles. The revision is sampled
+// after resolution — sampling before would let a concurrent Bump pair a
+// fresh binding with a stale revision, deferring the coherent-cache purge
+// by one round-trip and breaking WithCoherentCache's staleness bound. If
+// the revision moved while resolving, the resolution raced a binding
+// change and is retried against the newer revision; if it never settles,
+// the pre-resolution revision is returned, which at worst forces the
+// client to purge again next trip (conservative, never stale). The retry
+// loop is written out in both cases rather than lifted into a helper
+// taking a resolve closure: handle is on serveRequests' allocfree path,
+// and the loop is the price of keeping it closure-free.
+func (s *Server) handle(sc *workerScratch) response {
+	req := &sc.req
 	switch {
 	case req.Op != opNone:
 		return s.handleMutation(req)
@@ -371,59 +404,58 @@ func (s *Server) handle(req request) response {
 		if routes == nil {
 			return response{Err: "no routing table: server is not a cluster member"}
 		}
+		//namingvet:allocfree-exempt -- cold: routing bootstrap copies the table
 		return response{Routes: routes.Clone()}
 	case req.Paths != nil:
-		results := make([]result, len(req.Paths))
-		rev := s.withStableRevision(func() {
-			for i, raw := range req.Paths {
-				results[i] = s.resolveOne(raw)
+		results := sc.results[:0]
+		rev := s.Revision()
+		for attempt := 0; ; attempt++ {
+			results = results[:0]
+			for _, raw := range req.Paths {
+				results = append(results, s.resolveOne(&sc.path, raw))
 			}
-		})
+			after := s.Revision()
+			if after == rev || attempt == 3 {
+				break
+			}
+			rev = after
+		}
+		sc.results = results
 		return response{Rev: rev, Results: results}
 	default:
 		var res result
-		rev := s.withStableRevision(func() {
-			res = s.resolveOne(req.Path)
-		})
+		rev := s.Revision()
+		for attempt := 0; ; attempt++ {
+			res = s.resolveOne(&sc.path, req.Path)
+			after := s.Revision()
+			if after == rev || attempt == 3 {
+				break
+			}
+			rev = after
+		}
 		return response{Ent: res.ID, Kind: res.Kind, Rev: rev, Err: res.Err}
 	}
 }
 
-// withStableRevision runs resolve and returns a revision consistent with
-// the bindings it read. The revision is sampled after resolution — sampling
-// before would let a concurrent Bump pair a fresh binding with a stale
-// revision, deferring the coherent-cache purge by one round-trip and
-// breaking WithCoherentCache's staleness bound. If the revision moved while
-// resolving, the resolution raced a binding change and is retried against
-// the newer revision; if it never settles, the pre-resolution revision is
-// returned, which at worst forces the client to purge again next trip
-// (conservative, never stale).
-func (s *Server) withStableRevision(resolve func()) uint64 {
-	rev := s.Revision()
-	for attempt := 0; ; attempt++ {
-		resolve()
-		after := s.Revision()
-		if after == rev || attempt == 3 {
-			return rev
-		}
-		rev = after
+// resolveOne resolves one wire path in the exported context, rebuilding it
+// into the caller's scratch path (amortized: the backing array is reused
+// across requests). The path is re-validated here even though well-behaved
+// clients canonicalize before sending: the wire trusts no peer's parser
+// (§6 — coherence is checked where the name is used, not only where it was
+// made).
+func (s *Server) resolveOne(scratch *core.Path, raw []string) result {
+	p := (*scratch)[:0]
+	for _, c := range raw {
+		p = append(p, core.Name(c))
 	}
-}
-
-// resolveOne resolves one wire path in the exported context. The path is
-// re-validated here even though well-behaved clients canonicalize before
-// sending: the wire trusts no peer's parser (§6 — coherence is checked
-// where the name is used, not only where it was made).
-func (s *Server) resolveOne(raw []string) result {
-	p := make(core.Path, len(raw))
-	for i, c := range raw {
-		p[i] = core.Name(c)
-	}
+	*scratch = p
 	if err := checkWireCanonical(p); err != nil {
+		//namingvet:allocfree-exempt -- cold: failed resolution renders its error
 		return result{Err: err.Error()}
 	}
 	e, err := s.world.Resolve(s.export, p)
 	if err != nil {
+		//namingvet:allocfree-exempt -- cold: failed resolution renders its error
 		return result{Err: err.Error()}
 	}
 	return result{ID: uint64(e.ID), Kind: uint8(e.Kind)}
