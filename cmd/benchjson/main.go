@@ -8,10 +8,18 @@
 // Usage:
 //
 //	go test -bench . | benchjson > BENCH.json
+//	benchjson -compare old.json new.json -max-regress 10
 //
 // Lines that are not benchmark results (headers, PASS, ok) are ignored, so
 // the raw `go test` stream can be piped in unfiltered. Repeated runs of
 // the same benchmark (-count > 1) are averaged.
+//
+// Compare mode diffs two documents previously written by convert: every
+// benchmark present in both gets a ns/op and allocs/op delta line, and any
+// regression beyond -max-regress percent (default 10) makes the exit
+// status nonzero so CI can gate on it. Benchmarks present in only one
+// document are listed but never fail the gate — adding and retiring
+// benchmarks is routine, silently shifting their numbers is not.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -148,7 +157,135 @@ func convert(in io.Reader, out io.Writer) error {
 	return enc.Encode(doc)
 }
 
+// readDoc loads one JSON document previously written by convert.
+func readDoc(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]result
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// pct is the percent change from old to new. Growth from zero is +Inf: an
+// allocation appearing on a zero-alloc path regresses at every threshold.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+func pctLabel(p float64) string {
+	if math.IsInf(p, 1) {
+		return "+∞%"
+	}
+	return fmt.Sprintf("%+.1f%%", p)
+}
+
+// compareDocs writes one delta line per benchmark and reports whether any
+// ns/op or allocs/op regression exceeds maxRegress percent.
+func compareDocs(oldDoc, newDoc map[string]result, maxRegress float64, out io.Writer) (regressed bool) {
+	names := make([]string, 0, len(newDoc))
+	for name := range newDoc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := newDoc[name]
+		o, ok := oldDoc[name]
+		if !ok {
+			fmt.Fprintf(out, "%s: new benchmark (%.1f ns/op), no baseline\n", name, n.NsPerOp)
+			continue
+		}
+		p := pct(o.NsPerOp, n.NsPerOp)
+		line := fmt.Sprintf("%s: ns/op %.1f -> %.1f (%s)", name, o.NsPerOp, n.NsPerOp, pctLabel(p))
+		if p > maxRegress {
+			regressed = true
+			line += " REGRESSION"
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			ap := pct(*o.AllocsPerOp, *n.AllocsPerOp)
+			line += fmt.Sprintf("; allocs/op %.1f -> %.1f (%s)", *o.AllocsPerOp, *n.AllocsPerOp, pctLabel(ap))
+			if ap > maxRegress {
+				regressed = true
+				line += " REGRESSION"
+			}
+		}
+		fmt.Fprintln(out, line)
+	}
+	var removed []string
+	for name := range oldDoc {
+		if _, ok := newDoc[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(out, "%s: removed (was %.1f ns/op)\n", name, oldDoc[name].NsPerOp)
+	}
+	return regressed
+}
+
+// runCompare parses `-compare old.json new.json [-max-regress pct]` (the
+// flag may come before or after the files) and returns whether the gate
+// tripped.
+func runCompare(args []string) (regressed bool, err error) {
+	maxRegress := 10.0
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-max-regress" {
+			i++
+			if i == len(args) {
+				return false, fmt.Errorf("-max-regress needs a percentage")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return false, fmt.Errorf("-max-regress %q: not a number", args[i])
+			}
+			maxRegress = v
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		return false, fmt.Errorf("usage: benchjson -compare old.json new.json [-max-regress pct]")
+	}
+	oldDoc, err := readDoc(files[0])
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := readDoc(files[1])
+	if err != nil {
+		return false, err
+	}
+	return compareDocs(oldDoc, newDoc, maxRegress, os.Stdout), nil
+}
+
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-compare" {
+		regressed, err := runCompare(args[1:])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson < bench.txt > BENCH.json")
+		fmt.Fprintln(os.Stderr, "   or: benchjson -compare old.json new.json [-max-regress pct]")
+		os.Exit(2)
+	}
 	if err := convert(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

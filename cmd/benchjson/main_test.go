@@ -119,6 +119,51 @@ BenchmarkZ-8   500   90 ns/op
 	}
 }
 
+func fp(v float64) *float64 { return &v }
+
+// TestCompareGate exercises the -compare delta math: within-threshold
+// drift passes, ns/op past the threshold trips the gate, and allocations
+// appearing on a zero-alloc path regress at any threshold.
+func TestCompareGate(t *testing.T) {
+	oldDoc := map[string]result{
+		"BenchmarkSteady-4":  {NsPerOp: 100, AllocsPerOp: fp(0)},
+		"BenchmarkDrift-4":   {NsPerOp: 100},
+		"BenchmarkRetired-4": {NsPerOp: 50},
+	}
+
+	var out bytes.Buffer
+	newDoc := map[string]result{
+		"BenchmarkSteady-4": {NsPerOp: 105, AllocsPerOp: fp(0)},
+		"BenchmarkDrift-4":  {NsPerOp: 109},
+		"BenchmarkFresh-4":  {NsPerOp: 70},
+	}
+	if compareDocs(oldDoc, newDoc, 10, &out) {
+		t.Errorf("within-threshold drift tripped the gate:\n%s", out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"BenchmarkFresh-4: new benchmark", "BenchmarkRetired-4: removed"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	out.Reset()
+	newDoc["BenchmarkDrift-4"] = result{NsPerOp: 125}
+	if !compareDocs(oldDoc, newDoc, 10, &out) {
+		t.Errorf("25%% ns/op regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report does not mark the regression:\n%s", out.String())
+	}
+
+	out.Reset()
+	newDoc["BenchmarkDrift-4"] = result{NsPerOp: 100}
+	newDoc["BenchmarkSteady-4"] = result{NsPerOp: 100, AllocsPerOp: fp(2)}
+	if !compareDocs(oldDoc, newDoc, 1000, &out) {
+		t.Errorf("allocs on a zero-alloc path passed the gate:\n%s", out.String())
+	}
+}
+
 func TestConvertIgnoresNoise(t *testing.T) {
 	in := `random prose
 Benchmark	notanumber	5 ns/op

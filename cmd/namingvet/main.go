@@ -25,7 +25,10 @@ import (
 	"namecoherence/internal/analysis/detrand"
 	"namecoherence/internal/analysis/errwrap"
 	"namecoherence/internal/analysis/goroleak"
+	"namecoherence/internal/analysis/lockblock"
+	"namecoherence/internal/analysis/lockexit"
 	"namecoherence/internal/analysis/lockheld"
+	"namecoherence/internal/analysis/lockorder"
 	"namecoherence/internal/analysis/mutbump"
 	"namecoherence/internal/analysis/registrycheck"
 	"namecoherence/internal/analysis/wirecanon"
@@ -34,6 +37,9 @@ import (
 // suite is the full analyzer set; shared with the benchmark.
 var suite = []*analysis.Analyzer{
 	lockheld.Analyzer,
+	lockorder.Analyzer,
+	lockblock.Analyzer,
+	lockexit.Analyzer,
 	conndeadline.Analyzer,
 	errwrap.Analyzer,
 	bindingsleak.Analyzer,

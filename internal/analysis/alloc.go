@@ -29,6 +29,7 @@ import (
 	"go/token"
 	"go/types"
 	"path/filepath"
+	"strings"
 )
 
 // allocPkgs taints every call into these packages: their entry points
@@ -123,6 +124,90 @@ func allocFlow(pkg *Package, pf *PackageFacts, obs map[*types.Func]*atoms) {
 			}
 		}
 	}
+}
+
+// auditAllocExempt reports allocfree-exempt directives that exempt nothing:
+// with the exemption switched off, the covered lines contain no allocation
+// site and no call that would propagate EscapesToHeap, so the directive is
+// stale. A function-level directive is unused when the whole body is
+// evidence-free. Runs only when the allocfree analyzer is in the run set
+// (RunAnalyzers gates the call).
+func auditAllocExempt(pkg *Package, pf *PackageFacts) []Finding {
+	noExempt := func(token.Pos) bool { return false }
+	type fileLine struct {
+		file string
+		line int
+	}
+	// Every line an un-exempted sweep would find evidence on, and, per
+	// function, whether any exists at all.
+	evidence := make(map[fileLine]bool)
+	hasEvidence := make(map[*FuncFacts]bool)
+	for _, ff := range pf.Own {
+		for _, s := range allocSites(pkg, ff.Decl, noExempt) {
+			posn := pkg.Fset.Position(s.Pos)
+			evidence[fileLine{posn.Filename, posn.Line}] = true
+			hasEvidence[ff] = true
+		}
+		for _, cs := range pf.Graph.Calls[ff.Fn] {
+			if own := pf.byFn[cs.Callee]; own != nil && own.AllocExempt {
+				continue
+			}
+			if !summaryOf(pf, cs.Callee).EscapesToHeap {
+				continue
+			}
+			posn := pkg.Fset.Position(cs.Pos)
+			evidence[fileLine{posn.Filename, posn.Line}] = true
+			hasEvidence[ff] = true
+		}
+	}
+
+	var findings []Finding
+	// Function-level directives live in doc comments of exempt declarations.
+	docDirective := make(map[*ast.Comment]bool)
+	for _, ff := range pf.Own {
+		if !ff.AllocExempt || ff.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range ff.Decl.Doc.List {
+			if !directiveMatches(c.Text, AllocFreeExemptDirective) {
+				continue
+			}
+			docDirective[c] = true
+			posn := pkg.Fset.Position(c.Pos())
+			if hasEvidence[ff] || strings.HasSuffix(posn.Filename, "_test.go") {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: SuppressName,
+				Posn:     posn,
+				Message: fmt.Sprintf("unused suppression: %s has no allocation evidence for this allocfree-exempt directive to exempt",
+					funcLabel(ff.Fn)),
+			})
+		}
+	}
+	// Everything else is a line directive covering its own and the next line.
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !directiveMatches(c.Text, AllocFreeExemptDirective) || docDirective[c] {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				if strings.HasSuffix(posn.Filename, "_test.go") {
+					continue
+				}
+				if evidence[fileLine{posn.Filename, posn.Line}] || evidence[fileLine{posn.Filename, posn.Line + 1}] {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: SuppressName,
+					Posn:     posn,
+					Message:  "unused suppression: no allocation evidence on the lines this allocfree-exempt directive covers",
+				})
+			}
+		}
+	}
+	return findings
 }
 
 // allocExemptLines indexes //namingvet:allocfree-exempt line directives:

@@ -3,7 +3,8 @@
 // approximation must not convict — amortized self-append, non-escaping
 // locals, pointer-shaped boxing, map-index string conversions, constant
 // makes that stay on the stack, and exempt cold branches. No function
-// here may be reported.
+// here may be reported by allocfree itself; the two stale exemptions at
+// the bottom are the suppression audit's positive cases.
 package steady
 
 import "errors"
@@ -102,4 +103,20 @@ func localOnly(n uint64) uint64 {
 	buf := make([]byte, 16)
 	buf[0] = byte(n)
 	return p.ID + uint64(buf[0])
+}
+
+// frozen is pure arithmetic; its whole-function exemption outlived the
+// code it once covered and the audit reports it.
+//
+//namingvet:allocfree-exempt -- stale: the formatting moved out long ago // want `unused suppression: steady\.frozen has no allocation evidence for this allocfree-exempt directive to exempt`
+func frozen(x uint64) uint64 {
+	return x * 2
+}
+
+// counterReset is clean, and its line exemption covers nothing.
+//
+//namingvet:allocfree
+func (c *cache) counterReset() {
+	//namingvet:allocfree-exempt -- stale: the rebuild moved to teardown // want `unused suppression: no allocation evidence on the lines this allocfree-exempt directive covers`
+	c.hits = 0
 }

@@ -67,6 +67,20 @@ func (f Finding) String() string {
 		f.Posn.Filename, f.Posn.Line, f.Posn.Column, f.Analyzer, f.Message)
 }
 
+// SuppressName tags the findings of the unused-suppression audit: a
+// directive that suppresses no diagnostic is itself reported, so stale
+// exemptions get burned down instead of rotting.
+const SuppressName = "suppress"
+
+// ignoreDirective is one parsed //namingvet:ignore or file-ignore comment,
+// shared by every line it covers so suppressions can be traced back to it.
+type ignoreDirective struct {
+	names    []string
+	fileWide bool
+	posn     token.Position
+	used     map[string]bool // analyzer name -> suppressed something
+}
+
 // ignoreIndex records which analyzers are suppressed where, from
 //
 //	//namingvet:ignore name1,name2 -- reason
@@ -78,14 +92,15 @@ func (f Finding) String() string {
 //
 // directives (suppressing a whole file).
 type ignoreIndex struct {
-	files map[string]map[string]bool // filename -> analyzer -> ignored
-	lines map[string]map[int]map[string]bool
+	files      map[string][]*ignoreDirective         // filename -> file-wide directives
+	lines      map[string]map[int][]*ignoreDirective // filename -> line -> directives
+	directives []*ignoreDirective
 }
 
 func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 	idx := &ignoreIndex{
-		files: make(map[string]map[string]bool),
-		lines: make(map[string]map[int]map[string]bool),
+		files: make(map[string][]*ignoreDirective),
+		lines: make(map[string]map[int][]*ignoreDirective),
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -98,31 +113,32 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 						continue
 					}
 				}
-				names, _, _ := strings.Cut(text, "--")
-				posn := fset.Position(c.Pos())
-				for _, name := range strings.Split(names, ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
+				rawNames, _, _ := strings.Cut(text, "--")
+				d := &ignoreDirective{
+					fileWide: fileWide,
+					posn:     fset.Position(c.Pos()),
+					used:     make(map[string]bool),
+				}
+				for _, name := range strings.Split(rawNames, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						d.names = append(d.names, name)
 					}
-					if fileWide {
-						if idx.files[posn.Filename] == nil {
-							idx.files[posn.Filename] = make(map[string]bool)
-						}
-						idx.files[posn.Filename][name] = true
-						continue
-					}
-					byLine := idx.lines[posn.Filename]
-					if byLine == nil {
-						byLine = make(map[int]map[string]bool)
-						idx.lines[posn.Filename] = byLine
-					}
-					for _, line := range []int{posn.Line, posn.Line + 1} {
-						if byLine[line] == nil {
-							byLine[line] = make(map[string]bool)
-						}
-						byLine[line][name] = true
-					}
+				}
+				if len(d.names) == 0 {
+					continue
+				}
+				idx.directives = append(idx.directives, d)
+				if fileWide {
+					idx.files[d.posn.Filename] = append(idx.files[d.posn.Filename], d)
+					continue
+				}
+				byLine := idx.lines[d.posn.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*ignoreDirective)
+					idx.lines[d.posn.Filename] = byLine
+				}
+				for _, line := range []int{d.posn.Line, d.posn.Line + 1} {
+					byLine[line] = append(byLine[line], d)
 				}
 			}
 		}
@@ -130,11 +146,60 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
 	return idx
 }
 
-func (idx *ignoreIndex) ignored(analyzer string, posn token.Position) bool {
-	if idx.files[posn.Filename][analyzer] {
-		return true
+func (d *ignoreDirective) matches(analyzer string) bool {
+	for _, name := range d.names {
+		if name == analyzer {
+			return true
+		}
 	}
-	return idx.lines[posn.Filename][posn.Line][analyzer]
+	return false
+}
+
+// ignored reports whether a diagnostic at posn is suppressed, marking every
+// directive that suppresses it as used for the audit.
+func (idx *ignoreIndex) ignored(analyzer string, posn token.Position) bool {
+	hit := false
+	for _, d := range idx.files[posn.Filename] {
+		if d.matches(analyzer) {
+			d.used[analyzer] = true
+			hit = true
+		}
+	}
+	for _, d := range idx.lines[posn.Filename][posn.Line] {
+		if d.matches(analyzer) {
+			d.used[analyzer] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// audit reports, after every analyzer has run, each directive name that
+// matched no diagnostic. Names outside the run set are skipped — a partial
+// run (a single-analyzer test) has no evidence either way — as are
+// directives in _test.go files, which never see diagnostics at all.
+func (idx *ignoreIndex) audit(ran map[string]bool) []Finding {
+	var findings []Finding
+	for _, d := range idx.directives {
+		if strings.HasSuffix(d.posn.Filename, "_test.go") {
+			continue
+		}
+		kind := "ignore"
+		if d.fileWide {
+			kind = "file-ignore"
+		}
+		for _, name := range d.names {
+			if !ran[name] || d.used[name] {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: SuppressName,
+				Posn:     d.posn,
+				Message:  fmt.Sprintf("unused suppression: this %s directive matches no %s diagnostic", kind, name),
+			})
+		}
+	}
+	return findings
 }
 
 // RunAnalyzers runs every analyzer over one type-checked package and
@@ -169,6 +234,14 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, imported Summaries) ([]Fi
 		if _, err := a.Run(pass); err != nil {
 			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	findings = append(findings, idx.audit(ran)...)
+	if ran["allocfree"] {
+		findings = append(findings, auditAllocExempt(pkg, facts)...)
 	}
 	return findings, facts.All, nil
 }

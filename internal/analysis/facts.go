@@ -16,10 +16,11 @@ const ModulePath = "namecoherence"
 // across tool rebuilds keyed on the tool's -V=full hash, but being explicit
 // costs one line and makes a stale or foreign file decode to "no facts"
 // instead of garbage.
-// v2 added the allocation facts (Allocates/EscapesToHeap/AllocVia); a v1
-// file from an older tool build decodes to "no facts" rather than a table
-// that silently lacks them.
-var factsMagic = []byte("namingvet-facts-v2\n")
+// v2 added the allocation facts (Allocates/EscapesToHeap/AllocVia); v3
+// added the lock-order facts (AcquiresLocks/LockEdges/ChanBlocks). A file
+// from an older tool build decodes to "no facts" rather than a table that
+// silently lacks them.
+var factsMagic = []byte("namingvet-facts-v3\n")
 
 // EncodeFacts serializes summaries for a .vetx facts file. Keys are sorted
 // so the output is deterministic (detrand would want nothing less).

@@ -1,0 +1,52 @@
+// Package lockblock flags operations that can park the goroutine
+// indefinitely while a sync mutex is held: channel sends and receives,
+// select statements with no default, ranging over a channel,
+// sync.WaitGroup.Wait, and sync.Cond.Wait held alongside a second lock —
+// plus calls, across packages via .vetx facts, to any function whose
+// ChanBlocks summary says it reaches one of those. It generalizes
+// lockheld's I/O-under-lock rule to all blocking: a pusher goroutine
+// parked on a full invalidation channel is just as wedged behind a held
+// server mutex as one parked on a peer's TCP window.
+//
+// Structurally non-blocking operations never reach this analyzer: the
+// facts layer drops selects that contain a default clause and sends on a
+// function-local channel whose constant capacity provably exceeds the
+// body's send count (see analysis.localBufferedChans). Cond.Wait holding
+// exactly the cond's one lock is the primitive's documented contract —
+// Wait releases it while parked — and is exempt.
+package lockblock
+
+import (
+	"namecoherence/internal/analysis"
+)
+
+// Analyzer is the lockblock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockblock",
+	Doc:  "flags channel operations, WaitGroup.Wait, and calls that may park indefinitely while a sync mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, ff := range pass.Facts.Own {
+		for _, op := range ff.BlockOps {
+			if len(op.Held) == 0 || op.Exempt {
+				continue
+			}
+			pass.Reportf(op.Pos, "%s while %s is held: the goroutine can park indefinitely holding the lock",
+				op.Desc, op.Held[len(op.Held)-1].ID)
+		}
+		for _, lc := range ff.LockCalls {
+			if len(lc.Held) == 0 {
+				continue
+			}
+			cal := pass.Facts.All[analysis.FuncKey(lc.Callee)]
+			if !cal.ChanBlocks {
+				continue
+			}
+			pass.Reportf(lc.Pos, "call to %s, which may block (%s), while %s is held",
+				lc.Callee.Name(), cal.ChanVia, lc.Held[len(lc.Held)-1].ID)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package lockblock_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/lockblock"
+)
+
+func TestLockblock(t *testing.T) {
+	analysistest.Run(t, lockblock.Analyzer, "a")
+}

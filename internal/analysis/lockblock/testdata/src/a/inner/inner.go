@@ -1,0 +1,8 @@
+// Package inner parks on a channel; callers in the enclosing fixture
+// package inherit the hazard through the exported ChanBlocks fact.
+package inner
+
+// Park blocks until the channel yields.
+func Park(ch chan struct{}) {
+	<-ch
+}

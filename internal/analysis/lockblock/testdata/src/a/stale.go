@@ -1,0 +1,8 @@
+// A file-wide suppression with nothing to suppress: every lockblock
+// diagnostic in this fixture lives in a.go, so the audit reports the
+// directive here.
+//
+//namingvet:file-ignore lockblock -- stale: the push path moved elsewhere // want `unused suppression: this file-ignore directive matches no lockblock diagnostic`
+package a
+
+func harmless() int { return 1 }

@@ -1,0 +1,12 @@
+package lockexit_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/lockexit"
+)
+
+func TestLockexit(t *testing.T) {
+	analysistest.Run(t, lockexit.Analyzer, "a")
+}

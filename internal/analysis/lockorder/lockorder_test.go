@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"namecoherence/internal/analysis/analysistest"
+	"namecoherence/internal/analysis/lockorder"
+)
+
+func TestReacquire(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "reacquire")
+}
+
+func TestCrossPackageCycle(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "cycle")
+}
+
+func TestSamePackageCycle(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "cyclepkg")
+}

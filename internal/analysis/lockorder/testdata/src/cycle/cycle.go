@@ -1,0 +1,25 @@
+// Cross-package lock-order cycle: this package acquires inner.B while
+// holding inner.A, and package inner acquires A while holding B. Neither
+// package sees both orders in its own source; the cycle closes through
+// the facts imported from inner.
+package cycle
+
+import "namecoherence/internal/analysis/lockorder/testdata/src/cycle/inner"
+
+// AThenB holds A and acquires B via the helper — the reverse of
+// inner.BThenA's order.
+func AThenB(a *inner.A, b *inner.B) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	inner.LockB(b) // want `lock order cycle: \(\*inner\.B\)\.Mu is acquired while \(\*inner\.A\)\.Mu is held here, but the reverse order exists`
+}
+
+// BThenAAgain also uses both locks, in inner's order: no new cycle is
+// reported here (the cycle's canonical key already reported above), and a
+// same-order second user must never invent one of its own.
+func BThenAAgain(a *inner.A, b *inner.B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	a.Mu.Lock()
+	a.Mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package inner owns both lock-bearing types and establishes the B→A
+// acquisition order. The enclosing fixture package acquires A→B through
+// an exported helper, so the cycle only becomes visible when inner's
+// serialized facts flow into the dependent package.
+package inner
+
+import "sync"
+
+type A struct{ Mu sync.Mutex }
+
+type B struct{ Mu sync.Mutex }
+
+// LockB acquires B alone: the dependent package calls this while holding
+// A, contributing the A→B edge through the AcquiresLocks fact.
+func LockB(b *B) {
+	b.Mu.Lock()
+	b.Mu.Unlock()
+}
+
+// BThenA acquires A while B is held: the B→A edge.
+func BThenA(a *A, b *B) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	a.Mu.Lock()
+	a.Mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Same-package two-function cycle: AB acquires a→b, BA acquires b→a. The
+// cycle is reported once, at the lexically first contributing edge.
+package cyclepkg
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) AB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock order cycle: \(\*cyclepkg\.S\)\.b is acquired while \(\*cyclepkg\.S\)\.a is held here, but the reverse order exists`
+	s.b.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}

@@ -1,0 +1,86 @@
+// Positive and negative cases for lockorder's self-re-acquire rule: a
+// non-reentrant mutex acquired again while already held, directly or
+// through a call chain.
+package reacquire
+
+import "sync"
+
+type T struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	other sync.Mutex
+}
+
+// Outer holds t.mu and calls helper, which locks it again: a guaranteed
+// self-deadlock two frames apart.
+func (t *T) Outer() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.helper() // want `call to helper may re-acquire \(\*reacquire\.T\)\.mu, which is already held`
+}
+
+func (t *T) helper() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// Deep re-acquires through two frames are still caught: the AcquiresLocks
+// fact is transitive.
+func (t *T) Deep() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.middle() // want `call to middle may re-acquire \(\*reacquire\.T\)\.mu, which is already held`
+}
+
+func (t *T) middle() {
+	t.helper()
+}
+
+// Double locks directly.
+func (t *T) Double() {
+	t.mu.Lock()
+	t.mu.Lock() // want `re-acquires \(\*reacquire\.T\)\.mu, which is already held`
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// ReadRead recursively read-locks: prohibited by the sync docs, since a
+// writer arriving between the two RLocks deadlocks both.
+func (t *T) ReadRead() {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.readHelper() // want `call to readHelper may re-acquire \(\*reacquire\.T\)\.rw, which is already held`
+}
+
+func (t *T) readHelper() {
+	t.rw.RLock()
+	t.rw.RUnlock()
+}
+
+// Nest takes two different locks; one direction only, no report.
+func (t *T) Nest() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.other.Lock()
+	t.other.Unlock()
+}
+
+// Sequential releases before calling the helper that locks again.
+func (t *T) Sequential() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.helper()
+}
+
+// Spawned work does not inherit the spawner's held set: the goroutine
+// acquires t.mu on its own stack after the spawner is long gone.
+func (t *T) SpawnHelper() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go t.afterwards()
+}
+
+func (t *T) afterwards() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}

@@ -63,6 +63,24 @@ type FuncSummary struct {
 	// diagnostic at an annotated root can show the whole chain down to
 	// the allocating expression.
 	AllocVia string `json:",omitempty"`
+	// AcquiresLocks maps lock identities (see lockorder.go: receiver type
+	// + field path, "(*nameserver.Server).mu") to evidence that calling
+	// the function may acquire that lock, directly or transitively.
+	AcquiresLocks map[string]LockAcq `json:",omitempty"`
+	// LockEdges lists the acquisition-order edges observed in the body:
+	// Held was held at a point where Acq was acquired (directly or via a
+	// call whose summary acquires it). lockorder folds every package's
+	// edges into one module-global graph and reports its cycles.
+	LockEdges []LockEdge `json:",omitempty"`
+	// ChanBlocks: the function may park indefinitely on channel traffic
+	// or sync primitives — a channel send/receive, a select with no
+	// default, a range over a channel, WaitGroup.Wait, or Cond.Wait —
+	// directly or transitively. lockblock taints callers invoked under a
+	// held mutex, the way Blocks does for wire I/O.
+	ChanBlocks bool `json:",omitempty"`
+	// ChanVia, when ChanBlocks is set, samples one blocking operation the
+	// function reaches, nested across packages like AllocVia.
+	ChanVia string `json:",omitempty"`
 }
 
 // Summaries maps FuncKey strings to summaries. Keys use types.Func.FullName
@@ -120,6 +138,12 @@ type FuncFacts struct {
 	// discharged. Exonerated functions are neither reported nor exported
 	// as UnguardedIO.
 	Exonerated bool
+	// LockAcquires, LockCalls, and BlockOps are the body's lock-discipline
+	// events with held-set snapshots, collected by the lockorder scan
+	// (lockorder.go). The lockorder/lockblock analyzers report from them.
+	LockAcquires []LockAcquire
+	LockCalls    []LockCall
+	BlockOps     []BlockOp
 }
 
 // PackageFacts is what one RunAnalyzers invocation computes and every
@@ -285,6 +309,7 @@ func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
 
 	deadlineFlow(pkg, pf, obs)
 	allocFlow(pkg, pf, obs)
+	lockFlow(pkg, pf)
 
 	for _, ff := range pf.Own {
 		pf.All[FuncKey(ff.Fn)] = ff.Summary

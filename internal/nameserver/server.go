@@ -450,12 +450,10 @@ func (s *Server) resolveOne(scratch *core.Path, raw []string) result {
 	}
 	*scratch = p
 	if err := checkWireCanonical(p); err != nil {
-		//namingvet:allocfree-exempt -- cold: failed resolution renders its error
 		return result{Err: err.Error()}
 	}
 	e, err := s.world.Resolve(s.export, p)
 	if err != nil {
-		//namingvet:allocfree-exempt -- cold: failed resolution renders its error
 		return result{Err: err.Error()}
 	}
 	return result{ID: uint64(e.ID), Kind: uint8(e.Kind)}

@@ -3,8 +3,10 @@ package nameserver
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"namecoherence/internal/core"
 	"namecoherence/internal/dirtree"
@@ -216,6 +218,82 @@ func TestServeOverTCP(t *testing.T) {
 	// Resolving after server close fails.
 	if _, err := c1.Resolve(core.ParsePath("usr")); err == nil {
 		t.Fatal("resolve after close succeeded")
+	}
+}
+
+// TestServerCloseDuringSubscribePush closes the server while a subscribed
+// connection is being pushed to, with Bumps racing the teardown the whole
+// way. The shutdown chain — conn close fails the workers' decodes, workers
+// drain, ServeConn leaves the subscriber set under mu, closes invalC, and
+// joins the pusher — must neither deadlock Close (which waits for every
+// handler) nor leak the pusher goroutine parked on the capacity-1
+// coalescing channel.
+func TestServerCloseDuringSubscribePush(t *testing.T) {
+	w, tr, _ := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		s.Serve(ln)
+	}()
+	baseline := runtime.NumGoroutine()
+
+	c, err := Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := make(chan uint64, 1)
+	err = c.Subscribe(func(rev uint64) {
+		select {
+		case pushed <- rev:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer offers onto the pusher channel while the teardown runs.
+	stop := make(chan struct{})
+	var bumps sync.WaitGroup
+	bumps.Add(1)
+	go func() {
+		defer bumps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Bump()
+			}
+		}
+	}()
+
+	// Wait for one frame so the push path is live, then tear down under it.
+	select {
+	case <-pushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no push frame arrived before close")
+	}
+	s.Close() // must return: every ServeConn joins its pusher first
+	close(stop)
+	bumps.Wait()
+	<-served
+	_ = c.Close()
+
+	// Every server- and client-side goroutine must unwind; a stuck pusher
+	// shows up as a count that never returns to the pre-dial baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after close:\n%s", buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -208,12 +208,15 @@ func (p *Proc) Stats() (local, remote int) {
 	return p.localCount, p.remoteCount
 }
 
-// Close closes the process's wire connections.
+// Close closes the process's wire connections. The map is detached under
+// the lock; each client Close joins its reader goroutine, which must not
+// run under p.mu (a hung peer would wedge Resolve and Stats).
 func (p *Proc) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	for name, cl := range p.clients {
+	clients := p.clients
+	p.clients = make(map[string]*nameserver.Client)
+	p.mu.Unlock()
+	for _, cl := range clients {
 		_ = cl.Close()
-		delete(p.clients, name)
 	}
 }

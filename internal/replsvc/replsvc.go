@@ -118,14 +118,19 @@ func (rs *ReplicaSet) Addrs() []string {
 }
 
 // StopReplica shuts down one replica's server (simulating a failure).
+// The blocking part — Server.Close joins its worker goroutines, and the
+// serve-loop channel is closed by one of them — happens after rs.mu is
+// released, so a stuck replica cannot wedge Addrs or a concurrent Close.
 func (rs *ReplicaSet) StopReplica(i int) error {
 	rs.mu.Lock()
-	defer rs.mu.Unlock()
 	if i < 0 || i >= len(rs.servers) {
+		rs.mu.Unlock()
 		return fmt.Errorf("replica %d: %w", i, ErrNoReplicas)
 	}
-	rs.servers[i].Close()
-	<-rs.done[i]
+	srv, done := rs.servers[i], rs.done[i]
+	rs.mu.Unlock()
+	srv.Close()
+	<-done
 	return nil
 }
 
@@ -221,21 +226,30 @@ func (p *Pool) clientFor(i int) (*nameserver.Client, error) {
 		return nil, err
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if prev, ok := p.clients[i]; ok {
+	prev, raced := p.clients[i]
+	if !raced {
+		p.clients[i] = c
+	}
+	p.mu.Unlock()
+	if raced {
+		// Lost the dial race. Closing joins the loser's reader goroutine,
+		// which must not happen under p.mu — the pool would stall every
+		// resolver behind one teardown.
 		_ = c.Close()
 		return prev, nil
 	}
-	p.clients[i] = c
 	return c, nil
 }
 
 func (p *Pool) dropClient(i int) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if c, ok := p.clients[i]; ok {
-		_ = c.Close()
+	c, ok := p.clients[i]
+	if ok {
 		delete(p.clients, i)
+	}
+	p.mu.Unlock()
+	if ok {
+		_ = c.Close() // joins the reader goroutine: after unlock
 	}
 }
 
@@ -247,12 +261,15 @@ func (p *Pool) Failovers() int {
 	return p.failovers
 }
 
-// Close closes all pooled connections.
+// Close closes all pooled connections. The map is detached under the lock
+// and the connections — each Close joins a reader goroutine — are torn
+// down outside it.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i, c := range p.clients {
+	clients := p.clients
+	p.clients = make(map[int]*nameserver.Client)
+	p.mu.Unlock()
+	for _, c := range clients {
 		_ = c.Close()
-		delete(p.clients, i)
 	}
 }
