@@ -8,6 +8,13 @@
 // registry, in both directions. It also checks handler exhaustiveness:
 // every field of the request struct must be read somewhere in the package,
 // or a request kind exists that the server silently ignores.
+//
+// Packages that hand-roll a binary codec beside gob get a third rule: once
+// any registered type has an append<T>/parse<T> codec function, every
+// registered type must have both, and each must touch every field of its
+// type — a field the binary encoder skips is silently dropped from frames
+// with no runtime error, exactly the corruption mode the registry exists
+// to prevent. Packages with no such functions (gob-only) are unaffected.
 package registrycheck
 
 import (
@@ -33,7 +40,7 @@ const RequestType = "request"
 // Analyzer is the registrycheck analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "registrycheck",
-	Doc:  "requires every gob-encoded wire type to appear in the wireTypes registry and every request field to be handled",
+	Doc:  "requires every gob-encoded wire type to appear in the wireTypes registry, every request field to be handled, and every registered type's binary codec functions to cover all fields",
 	Run:  run,
 }
 
@@ -66,7 +73,91 @@ func run(pass *analysis.Pass) (any, error) {
 	}
 
 	checkRequestFields(pass)
+	checkBinaryCodec(pass, positions)
 	return nil, nil
+}
+
+// codecFuncNames maps a registered type name to its binary codec function
+// names ("request" → appendRequest/parseRequest).
+func codecFuncNames(typeName string) (appendName, parseName string) {
+	upper := strings.ToUpper(typeName[:1]) + typeName[1:]
+	return "append" + upper, "parse" + upper
+}
+
+// checkBinaryCodec enforces binary-codec completeness over the registry.
+// The rule arms only once the package defines an append<T> or parse<T>
+// function for some registered type; from then on every registered type
+// needs the full pair, and each function must touch every field of its
+// type. "Touch" is any selection of the field in the function body —
+// encoders read fields, decoders assign them, and either appears as a
+// selector — so a new wire field that only one side handles is caught at
+// the side that forgot it.
+func checkBinaryCodec(pass *analysis.Pass, positions map[*types.Named]ast.Node) {
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+				decls[fd.Name.Name] = fd
+			}
+		}
+	}
+	armed := false
+	for named := range positions {
+		a, p := codecFuncNames(named.Obj().Name())
+		if decls[a] != nil || decls[p] != nil {
+			armed = true
+			break
+		}
+	}
+	if !armed {
+		return
+	}
+	for _, named := range sortedTypes(positions) {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		appendName, parseName := codecFuncNames(named.Obj().Name())
+		for _, fnName := range []string{appendName, parseName} {
+			fd := decls[fnName]
+			if fd == nil {
+				pass.Reportf(positions[named].Pos(),
+					"wire type %s has no binary codec function %s: frames of this type cannot cross the binary wire",
+					named.Obj().Name(), fnName)
+				continue
+			}
+			touched := fieldsTouched(pass, fd)
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if !touched[field] {
+					pass.Reportf(fd.Name.Pos(),
+						"binary codec function %s never touches %s.%s: the field would be silently dropped from binary frames",
+						fnName, named.Obj().Name(), field.Name())
+				}
+			}
+		}
+	}
+}
+
+// fieldsTouched collects every struct field selected anywhere in fd's body.
+func fieldsTouched(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s := pass.TypesInfo.Selections[sel]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
 }
 
 func inScope(path string) bool {

@@ -1,0 +1,61 @@
+// Package nameserver exercises registrycheck's binary-codec completeness
+// rule: once a package defines append<T>/parse<T> for any registered wire
+// type, every registered type needs both functions and each must touch
+// every field. (The directory path contains "nameserver" so the package
+// lands in the analyzer's scope; the gob-only fixture next door proves
+// the rule stays silent without codec functions.)
+package nameserver
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// request has a binary codec pair below; the encoder forgets Seq.
+type request struct {
+	ID   uint64
+	Path []string
+	Seq  uint64
+}
+
+// ack is registered and crosses the gob wire but has no binary codec
+// functions at all — with the rule armed, that is two missing functions.
+type ack struct {
+	OK bool
+}
+
+var wireTypes = map[string]any{
+	"request": request{},
+	"ack":     ack{}, // want `wire type ack has no binary codec function`
+}
+
+func serve(rw io.ReadWriter) error {
+	dec := gob.NewDecoder(rw)
+	enc := gob.NewEncoder(rw)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return err
+	}
+	use(req.ID, req.Path, req.Seq)
+	return enc.Encode(&ack{OK: true})
+}
+
+func use(...any) {}
+
+// appendRequest covers ID and Path but skips Seq: the field would vanish
+// from every binary frame without a runtime error.
+func appendRequest(b []byte, req *request) []byte { // want `binary codec function appendRequest never touches request.Seq`
+	b = append(b, byte(req.ID))
+	for _, s := range req.Path {
+		b = append(b, s...)
+	}
+	return b
+}
+
+// parseRequest touches every field: no complaint.
+func parseRequest(data []byte, req *request) error {
+	req.ID = uint64(data[0])
+	req.Path = []string{string(data[1:])}
+	req.Seq = 0
+	return nil
+}

@@ -132,6 +132,12 @@ type FuncFacts struct {
 	// the body is off the steady path (error teardown, cold setup) and
 	// contributes no allocation evidence.
 	AllocExempt bool
+	// WireDecoder: the declaration carries //namingvet:wiredecoder — it
+	// is the receive boundary, writing wire Path/Paths fields from bytes
+	// that arrived off the wire. wirecanon's field-flow rule (canonicalize
+	// before embedding) is a send-side obligation, so it skips these;
+	// the receive side re-validates names where they are used instead.
+	WireDecoder bool
 	// Exonerated: every same-package call site of this (unexported,
 	// never used as a value) function is deadline-guarded, so its
 	// unguarded events are the callers' responsibility — already
@@ -196,6 +202,12 @@ const AllocFreeDirective = "//namingvet:allocfree"
 // construction, teardown, and one-time setup live behind it.
 const AllocFreeExemptDirective = "//namingvet:allocfree-exempt"
 
+// WireDecoderDirective in a function's doc comment marks it as a wire
+// receive boundary: it decodes Path/Paths fields from bytes off the
+// wire, so wirecanon's send-side canonicalization rule does not apply
+// to its stores (the decoded names are re-validated where used).
+const WireDecoderDirective = "//namingvet:wiredecoder"
+
 // atoms are the raw, position-ordered observations collected from one body
 // before any fixpoint runs.
 type atoms struct {
@@ -248,6 +260,7 @@ func ComputeFacts(pkg *Package, imported Summaries) *PackageFacts {
 		}
 		ff.AllocFreeRoot = hasDirective(decl.Doc, AllocFreeDirective)
 		ff.AllocExempt = hasDirective(decl.Doc, AllocFreeExemptDirective)
+		ff.WireDecoder = hasDirective(decl.Doc, WireDecoderDirective)
 		ff.Summary.AcquiresLock = a.lock
 		ff.Summary.SpawnsGoroutine = a.spawns
 		ff.Summary.SetsDeadline = len(a.deadlinePos) > 0

@@ -42,7 +42,14 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	for _, ff := range pass.Facts.Own {
-		checkFieldFlow(pass, ff.Decl)
+		// The field-flow rule is a send-side obligation: canonicalize
+		// before embedding in a message. A declared wire decoder is the
+		// receive side — its Path/Paths stores carry bytes that arrived
+		// off the wire, re-validated where they are used — so the rule
+		// does not apply there.
+		if !ff.WireDecoder {
+			checkFieldFlow(pass, ff.Decl)
+		}
 		checkBoundary(pass, ff)
 	}
 	return nil, nil

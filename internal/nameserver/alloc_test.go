@@ -98,10 +98,11 @@ func TestCachedResolveAllocFloor(t *testing.T) {
 
 // TestRoundTripAllocFloor pins the full uncached round-trip — call
 // bookkeeping, send, the server worker pool, lead — at the measured
-// post-fix floor. The remaining allocations are the per-call pendingCall
-// and done channel plus gob's own encode/decode machinery on both ends
-// (the exempted calls the binary codec will replace); EXPERIMENTS.md
-// records the trajectory.
+// floor under the binary codec. The three remaining allocations are all
+// per-call bookkeeping (the pendingCall, its done channel, and the
+// canonical wire path the request retains until its response): encode
+// and decode themselves allocate nothing on either end. The gob floor
+// before this codec was 13; EXPERIMENTS.md records the trajectory.
 func TestRoundTripAllocFloor(t *testing.T) {
 	w, tr, f := exportedTree(t)
 	s := NewServer(w, tr.RootContext())
@@ -111,8 +112,69 @@ func TestRoundTripAllocFloor(t *testing.T) {
 	if got, err := c.Resolve(p); err != nil || got != f {
 		t.Fatalf("prime Resolve = %v, %v", got, err)
 	}
-	allocFloor(t, "Resolve/round-trip", 13, func() {
+	allocFloor(t, "Resolve/round-trip", 3, func() {
 		if _, err := c.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRoundTripAllocFloorGob pins the legacy codec's floor so the gob
+// fallback cannot quietly regress while it remains selectable.
+func TestRoundTripAllocFloorGob(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext(), WithServerCodec(CodecGob))
+	c := pipeClient(t, s, WithCodec(CodecGob))
+
+	p := core.ParsePath("usr/bin/ls")
+	if got, err := c.Resolve(p); err != nil || got != f {
+		t.Fatalf("prime Resolve = %v, %v", got, err)
+	}
+	allocFloor(t, "Resolve/round-trip-gob", 13, func() {
+		if _, err := c.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestBinaryEncodeDecodeAllocFree pins the codec itself — append into a
+// warm buffer, parse into warm scratch — at zero allocations for both
+// message types on the steady path. This is the tentpole's core claim;
+// allocfree proves it statically, this holds it at runtime.
+func TestBinaryEncodeDecodeAllocFree(t *testing.T) {
+	req := populated()["request"].(request)
+	resp := populated()["response"].(response)
+	resp.Routes = nil // RouteInfo is the documented bootstrap-only exception
+
+	var buf []byte
+	var sc workerScratch
+	var out request
+	allocFloor(t, "appendRequest+parseRequest", 0, func() {
+		buf = appendRequest(buf[:0], &req)
+		if err := parseRequest(buf, &out, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var errs strIntern
+	var outResp response
+	allocFloor(t, "appendResponse+parseResponse", 0, func() {
+		buf = appendResponse(buf[:0], &resp)
+		if err := parseResponse(buf, &outResp, &errs); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestErrInternAllocFree pins the sentinel-error decode at zero
+// allocations once interned: a client hammering a missing name pays for
+// the "no such name" string once, not per response.
+func TestErrInternAllocFree(t *testing.T) {
+	body := appendResponse(nil, &response{ID: 3, Err: "nameserver: no such name"})
+	var errs strIntern
+	var resp response
+	allocFloor(t, "parseResponse/interned-err", 0, func() {
+		if err := parseResponse(body, &resp, &errs); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -64,15 +64,20 @@ type pendingCall struct {
 type Client struct {
 	conn    net.Conn
 	bw      *bufio.Writer // guarded by wtoken
-	enc     *gob.Encoder  // guarded by wtoken
-	dec     *gob.Decoder  // guarded by rtoken
+	br      *bufio.Reader // guarded by rtoken (and by NewClient during negotiation)
+	enc     *gob.Encoder  // guarded by wtoken; nil unless the codec is gob
+	dec     *gob.Decoder  // guarded by rtoken; nil unless the codec is gob
+	codec   Codec         // immutable after NewClient (negotiation settles it)
 	timeout time.Duration // per-call bound; immutable after the options run
 
 	wtoken    chan struct{} // capacity 1; held while encoding and flushing
 	rtoken    chan struct{} // capacity 1; held by the leading reader
 	wq        atomic.Int32  // declared write intents; >0 after our encode elides our flush
 	wdeadline time.Time     // armed write deadline; guarded by wtoken
+	wbuf      []byte        // binary encode scratch; guarded by wtoken
 	rresp     response      // lead's reusable decode target; guarded by rtoken
+	rbuf      []byte        // binary frame scratch; guarded by rtoken
+	errs      strIntern     // decode-side error-string intern table; guarded by rtoken
 
 	closeOnce sync.Once
 
@@ -139,6 +144,24 @@ type timeoutOption time.Duration
 
 func (o timeoutOption) apply(c *Client) { c.timeout = time.Duration(o) }
 
+type codecOption Codec
+
+func (o codecOption) apply(c *Client) { c.codec = Codec(o) }
+
+// WithCodec pins the client's wire codec. The default, CodecBinary,
+// negotiates: the client offers the binary codec and falls back to gob
+// if the server insists (see WithServerCodec). WithCodec(CodecGob)
+// skips the offer entirely and speaks raw gob from the first byte —
+// wire-identical to a pre-codec client, the escape hatch for servers
+// that predate the negotiation.
+func WithCodec(codec Codec) ClientOption {
+	return codecOption(codec)
+}
+
+// Codec reports the codec this connection settled on. Immutable once
+// NewClient returns.
+func (c *Client) Codec() Codec { return c.codec }
+
 // WithTimeout bounds every call: a per-call timer starts when the call is
 // issued and, on expiry, fails that call with a timeout error (satisfying
 // errors.Is(err, os.ErrDeadlineExceeded) and net.Error's Timeout) and
@@ -153,20 +176,73 @@ func WithTimeout(d time.Duration) ClientOption {
 
 // NewClient wraps an established connection. The client spawns no
 // goroutines: callers themselves take turns decoding (see call).
+//
+// Unless WithCodec(CodecGob) pins the legacy stream, NewClient runs the
+// one-byte codec negotiation before returning (the server must already
+// be serving the connection). A failed negotiation poisons the client —
+// every call reports the failure — rather than error out here, keeping
+// the signature; Dial surfaces the error directly.
 func NewClient(conn net.Conn, opts ...ClientOption) *Client {
 	c := &Client{
 		conn:    conn,
 		bw:      bufio.NewWriter(conn),
-		dec:     gob.NewDecoder(bufio.NewReader(conn)),
+		br:      bufio.NewReader(conn),
 		wtoken:  make(chan struct{}, 1),
 		rtoken:  make(chan struct{}, 1),
 		pending: make(map[uint64]*pendingCall),
 	}
-	c.enc = gob.NewEncoder(c.bw)
 	for _, o := range opts {
 		o.apply(c)
 	}
+	if c.codec == CodecBinary {
+		if err := c.negotiate(); err != nil {
+			c.fail(fmt.Errorf("codec negotiation: %w", err))
+		}
+	}
+	if c.codec == CodecGob {
+		c.enc = gob.NewEncoder(c.bw)
+		c.dec = gob.NewDecoder(c.br)
+	}
 	return c
+}
+
+// negotiate offers the binary codec and adopts the server's one-byte
+// choice. The handshake is bounded by the call timeout (or the dial
+// default): a server that never answers — or a pre-codec server that
+// chokes on the magic byte — must fail the client promptly, not hang it.
+func (c *Client) negotiate() error {
+	d := defaultDialTimeout
+	if c.timeout > 0 && c.timeout < d {
+		d = c.timeout
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(d))
+	hello := [1]byte{binaryMagic}
+	if _, err := c.conn.Write(hello[:]); err != nil {
+		return fmt.Errorf("send codec offer: %w", err)
+	}
+	choice, err := c.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("read codec choice: %w", err)
+	}
+	_ = c.conn.SetDeadline(time.Time{})
+	switch choice {
+	case binaryMagic:
+		c.codec = CodecBinary
+	case replyGob:
+		c.codec = CodecGob
+	default:
+		return fmt.Errorf("server sent unknown codec choice 0x%02x", choice)
+	}
+	return nil
+}
+
+// Err returns the client's sticky failure: nil while the stream is
+// healthy, the poisoning error once it is not (negotiation failure,
+// transport death, timeout poisoning, or Close).
+func (c *Client) Err() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.broken
 }
 
 // defaultDialTimeout bounds Dial's connection attempt. A raw net.Dial is
@@ -186,7 +262,13 @@ func DialTimeout(network, addr string, timeout time.Duration, opts ...ClientOpti
 	if err != nil {
 		return nil, fmt.Errorf("dial name server: %w", err)
 	}
-	return NewClient(conn, opts...), nil
+	c := NewClient(conn, opts...)
+	if err := c.Err(); err != nil {
+		// Codec negotiation failed; don't hand out a poisoned client.
+		_ = c.Close()
+		return nil, fmt.Errorf("dial name server: %w", err)
+	}
+	return c, nil
 }
 
 // send encodes pc's request while holding the write token, then releases
@@ -213,8 +295,16 @@ func (c *Client) send(pc *pendingCall) error {
 		c.wdeadline = now.Add(d)
 		_ = c.conn.SetWriteDeadline(c.wdeadline)
 	}
-	//namingvet:allocfree-exempt -- gob encode allocates until the binary codec lands
-	err := c.enc.Encode(&pc.req)
+	var err error
+	if c.codec == CodecBinary {
+		// Append-encode into the token-guarded scratch: the request's
+		// bytes are built and written with zero heap traffic.
+		c.wbuf = appendRequest(c.wbuf[:0], &pc.req)
+		err = writeFrame(c.bw, c.wbuf)
+	} else {
+		//namingvet:allocfree-exempt -- legacy gob codec, selectable for one release
+		err = c.enc.Encode(&pc.req)
+	}
 	if rem := c.wq.Add(-1); err == nil && (rem == 0 || c.timeout > 0) {
 		err = c.bw.Flush()
 	}
@@ -250,16 +340,73 @@ func (c *Client) lead(pc *pendingCall, deadline time.Time) {
 			return
 		default:
 		}
+		if c.codec == CodecBinary {
+			if err := c.readOneBinary(); err != nil {
+				c.fail(recvFailure(err))
+				return
+			}
+			continue
+		}
 		// Zero the scratch before reuse: gob merges into an existing value,
 		// so a field the next message omits would leak the previous one.
 		c.rresp = response{}
-		//namingvet:allocfree-exempt -- gob decode allocates until the binary codec lands
+		//namingvet:allocfree-exempt -- legacy gob codec, selectable for one release
 		if err := c.dec.Decode(&c.rresp); err != nil {
 			c.fail(recvFailure(err))
 			return
 		}
 		c.dispatch(&c.rresp)
 	}
+}
+
+// readOneBinary reads and delivers one binary frame while holding the
+// read token. A response for a live call is parsed directly into that
+// call's own response struct — so the Results backing array the parse
+// fills belongs to the caller outright, never aliased by the scratch
+// the next frame reuses (gob got this for free by allocating fresh;
+// the binary codec gets it by choosing the parse target first). Push
+// frames and responses to abandoned calls parse into the token-guarded
+// scratch instead.
+//
+//namingvet:allocfree
+func (c *Client) readOneBinary() error {
+	body, err := readFrame(c.br, &c.rbuf)
+	if err != nil {
+		return err
+	}
+	fr := frameReader{b: body}
+	id, err := fr.uvarint()
+	if err != nil {
+		return err
+	}
+	if id != 0 {
+		c.pmu.Lock()
+		pc := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if pc != nil {
+			if err := parseResponse(body, &pc.resp, &c.errs); err != nil {
+				// pc is already out of the table, so fail cannot strand
+				// it: deliver the verdict here, then kill the stream.
+				pc.err = err
+				close(pc.done)
+				return err
+			}
+			close(pc.done)
+			return nil
+		}
+	}
+	// ID 0 (a push frame — clients never assign it) or an abandoned
+	// call: parse into the scratch, both to validate the stream and, for
+	// pushes, to feed the invalidation through dispatch.
+	c.rresp = response{}
+	if err := parseResponse(body, &c.rresp, &c.errs); err != nil {
+		return err
+	}
+	if c.rresp.Invalidation {
+		c.dispatch(&c.rresp)
+	}
+	return nil
 }
 
 // recvFailure classifies a dead read stream for fail: a deadline read

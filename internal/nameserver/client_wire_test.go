@@ -59,7 +59,9 @@ func TestStatsNotBlockedByInflightResolve(t *testing.T) {
 	release := make(chan struct{})
 	stallServer(t, serverConn, 0, release)
 
-	c := NewClient(clientConn, WithCache(4))
+	// The fake server speaks raw gob, so pin the codec (negotiating
+	// against it would hang on the one-byte hello).
+	c := NewClient(clientConn, WithCache(4), WithCodec(CodecGob))
 	defer c.Close()
 
 	inflight := make(chan struct{})
@@ -84,7 +86,8 @@ func TestCacheHitNotBlockedByInflightResolve(t *testing.T) {
 	release := make(chan struct{})
 	stallServer(t, serverConn, 1, release)
 
-	c := NewClient(clientConn, WithCache(4))
+	// The fake server speaks raw gob, so pin the codec.
+	c := NewClient(clientConn, WithCache(4), WithCodec(CodecGob))
 	defer c.Close()
 
 	// Warm the cache with the one answered request.

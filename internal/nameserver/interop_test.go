@@ -1,0 +1,116 @@
+package nameserver
+
+// Cross-version interop tests for the codec negotiation. The rollout
+// story the one-byte handshake buys: an old (gob-pinned) client must
+// work against a new binary-default server, and a new binary-preferring
+// client must work against a server administratively pinned to gob —
+// both directions, for reads and for mutations, with the negotiated
+// codec observable on the client.
+
+import (
+	"testing"
+	"time"
+
+	"namecoherence/internal/core"
+)
+
+// exerciseClient runs one resolve and one mutation round-trip — the two
+// request shapes with distinct wire paths — and verifies both landed.
+func exerciseClient(t *testing.T, c *Client, f core.Entity) {
+	t.Helper()
+	got, err := c.Resolve(core.ParsePath("usr/bin/ls"))
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if got != f {
+		t.Fatalf("resolve = %v, want %v", got, f)
+	}
+	rev, err := c.Bind(core.ParsePath("usr/bin"), "twin", f)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if rev == 0 {
+		t.Fatal("bind returned revision 0")
+	}
+	if got, err := c.Resolve(core.ParsePath("usr/bin/twin")); err != nil || got != f {
+		t.Fatalf("resolve of bound name = %v, %v; want %v", got, err, f)
+	}
+	if _, err := c.Unbind(core.ParsePath("usr/bin"), "twin"); err != nil {
+		t.Fatalf("unbind: %v", err)
+	}
+}
+
+// TestInteropGobClientBinaryServer: an old client (pinned to gob, sends
+// no hello) against a new server whose default is binary. The server
+// must detect the absent magic byte and fall back to gob transparently.
+func TestInteropGobClientBinaryServer(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext()) // binary-default server
+	c := pipeClient(t, s, WithCodec(CodecGob))
+	if got := c.Codec(); got != CodecGob {
+		t.Fatalf("client codec = %v, want gob", got)
+	}
+	exerciseClient(t, c, f)
+}
+
+// TestInteropBinaryClientGobServer: a new client against a server pinned
+// to gob (the escape hatch for a mixed fleet). The client's hello must
+// be answered with the gob-downgrade byte and the client must fall back.
+func TestInteropBinaryClientGobServer(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext(), WithServerCodec(CodecGob))
+	c := pipeClient(t, s) // binary-preferring client
+	if got := c.Codec(); got != CodecGob {
+		t.Fatalf("client codec = %v, want gob after downgrade", got)
+	}
+	exerciseClient(t, c, f)
+}
+
+// TestInteropBinaryBothEnds: the steady state after rollout — both ends
+// new, handshake lands on binary.
+func TestInteropBinaryBothEnds(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	c := pipeClient(t, s)
+	if got := c.Codec(); got != CodecBinary {
+		t.Fatalf("client codec = %v, want binary", got)
+	}
+	exerciseClient(t, c, f)
+}
+
+// TestInteropGobBothEnds: both ends pinned to gob — the pre-rollout
+// wire, byte-for-byte (the pinned client sends no hello at all).
+func TestInteropGobBothEnds(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext(), WithServerCodec(CodecGob))
+	c := pipeClient(t, s, WithCodec(CodecGob))
+	if got := c.Codec(); got != CodecGob {
+		t.Fatalf("client codec = %v, want gob", got)
+	}
+	exerciseClient(t, c, f)
+}
+
+// TestInteropInvalidationPush verifies the push path (server-initiated
+// ID-0 frames) under the binary codec: a subscribed client must see the
+// invalidation a mutation triggers.
+func TestInteropInvalidationPush(t *testing.T) {
+	w, tr, f := exportedTree(t)
+	s := NewServer(w, tr.RootContext())
+	c := pipeClient(t, s, WithCoherentCache(8))
+	if got := c.Codec(); got != CodecBinary {
+		t.Fatalf("client codec = %v, want binary", got)
+	}
+
+	seen := make(chan uint64, 4)
+	if err := c.Subscribe(func(rev uint64) { seen <- rev }); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	if _, err := c.Bind(core.ParsePath("usr/bin"), "pushed", f); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	select {
+	case <-seen:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no invalidation push arrived over the binary codec")
+	}
+}

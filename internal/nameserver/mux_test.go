@@ -121,7 +121,8 @@ func TestTimeoutFailsOnlyHungCall(t *testing.T) {
 	release := make(chan struct{})
 	selectiveServer(t, serverConn, "hang", release)
 
-	c := NewClient(clientConn, WithTimeout(time.Second))
+	// The fake server speaks raw gob, so pin the codec.
+	c := NewClient(clientConn, WithTimeout(time.Second), WithCodec(CodecGob))
 	defer c.Close()
 
 	hungErr := make(chan error, 1)
@@ -177,7 +178,8 @@ func TestLateResponseAfterTimeoutIsDiscarded(t *testing.T) {
 	release := make(chan struct{})
 	selectiveServer(t, serverConn, "hang", release)
 
-	c := NewClient(clientConn, WithTimeout(100*time.Millisecond))
+	// The fake server speaks raw gob, so pin the codec.
+	c := NewClient(clientConn, WithTimeout(100*time.Millisecond), WithCodec(CodecGob))
 	defer c.Close()
 
 	if _, err := c.Resolve(core.Path{"hang"}); !errors.Is(err, os.ErrDeadlineExceeded) {

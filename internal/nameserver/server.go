@@ -64,8 +64,9 @@ const serveWriteTimeout = time.Minute
 type Server struct {
 	world    *core.World
 	export   core.Context
-	workers  int  // per-connection resolver pool size; immutable after NewServer
-	readonly bool // immutable after NewServer; mutations are refused
+	workers  int   // per-connection resolver pool size; immutable after NewServer
+	readonly bool  // immutable after NewServer; mutations are refused
+	codec    Codec // negotiation policy (see WithServerCodec); immutable after NewServer
 
 	// wmu serializes every binding mutation applied through this server
 	// (the wire write path and Stable). It is never held across wire I/O;
@@ -119,6 +120,20 @@ func WithWorkers(n int) ServerOption {
 type readonlyOption struct{}
 
 func (readonlyOption) apply(s *Server) { s.readonly = true }
+
+type serverCodecOption Codec
+
+func (o serverCodecOption) apply(s *Server) { s.codec = Codec(o) }
+
+// WithServerCodec sets the codec policy for negotiating clients. The
+// default, CodecBinary, accepts a client's binary offer; CodecGob makes
+// the server answer every offer with the gob fallback — the rollback
+// lever while the binary codec is proving itself. Legacy clients that
+// never offer (raw gob from the first byte) are served as gob under
+// either policy.
+func WithServerCodec(codec Codec) ServerOption {
+	return serverCodecOption(codec)
+}
 
 // WithReadOnly refuses every wire mutation with a clean error while
 // leaving resolution untouched. Useful for serving a frozen snapshot or
@@ -180,13 +195,16 @@ func (s *Server) Serve(ln net.Listener) {
 // wire I/O and no sync.Mutex may be held across wire I/O (lockheld).
 type connState struct {
 	conn      net.Conn
-	dec       *gob.Decoder  // guarded by dtoken
+	codec     Codec         // settled by negotiation; immutable afterwards
+	br        *bufio.Reader // guarded by dtoken
+	dec       *gob.Decoder  // guarded by dtoken; nil unless the codec is gob
 	bw        *bufio.Writer // guarded by wtoken
-	enc       *gob.Encoder  // guarded by wtoken
+	enc       *gob.Encoder  // guarded by wtoken; nil unless the codec is gob
 	dtoken    chan struct{} // capacity 1; held by the worker currently decoding
 	wtoken    chan struct{} // capacity 1; held while encoding and flushing
 	wq        atomic.Int32  // declared write intents; >0 after our encode elides our flush
 	wdeadline time.Time     // armed write deadline; guarded by wtoken
+	wbuf      []byte        // binary encode scratch; guarded by wtoken
 	deadOnce  sync.Once
 	// invalC carries revisions to this connection's pusher goroutine.
 	// Capacity 1 with drop-and-replace offers: consecutive bumps coalesce
@@ -237,14 +255,24 @@ func (s *Server) ServeConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	br := bufio.NewReader(conn)
+	codec, err := negotiateServer(conn, br, s.codec)
+	if err != nil {
+		// The peer vanished before its first byte, or died mid-handshake.
+		return
+	}
 	st := &connState{
 		conn:   conn,
-		dec:    gob.NewDecoder(bufio.NewReader(conn)),
+		codec:  codec,
+		br:     br,
 		bw:     bufio.NewWriter(conn),
 		dtoken: make(chan struct{}, 1),
 		wtoken: make(chan struct{}, 1),
 	}
-	st.enc = gob.NewEncoder(st.bw)
+	if codec == CodecGob {
+		st.dec = gob.NewDecoder(br)
+		st.enc = gob.NewEncoder(st.bw)
+	}
 	st.invalC = make(chan uint64, 1)
 	var pushWG sync.WaitGroup
 	pushWG.Add(1)
@@ -271,6 +299,37 @@ func (s *Server) ServeConn(conn net.Conn) {
 	pushWG.Wait()
 }
 
+// negotiateServer settles a fresh connection's codec by sniffing its
+// first byte. The binary magic can never begin a gob stream (a gob
+// message opens with a small length byte or a negated byte count — see
+// the package comment in codec.go), so the sniff is unambiguous: magic
+// means a negotiating client, answered with this server's policy;
+// anything else is a legacy client, served as raw gob with nothing
+// consumed and nothing written. The wait for the first byte is the
+// connection's ordinary idle state — Close unblocks it by closing the
+// conn, exactly as it unblocks a worker's idle decode.
+func negotiateServer(conn net.Conn, br *bufio.Reader, policy Codec) (Codec, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return 0, err
+	}
+	if first[0] != binaryMagic {
+		return CodecGob, nil
+	}
+	_, _ = br.Discard(1)
+	chosen := policy
+	reply := [1]byte{binaryMagic}
+	if chosen != CodecBinary {
+		chosen = CodecGob
+		reply[0] = replyGob
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(serveWriteTimeout))
+	if _, err := conn.Write(reply[:]); err != nil {
+		return 0, err
+	}
+	return chosen, nil
+}
+
 // pushInvalidations is a connection's push goroutine: it forwards every
 // revision offered on invalC to the peer as an unsolicited Invalidation
 // frame. Frames share the connection's write token with ordinary
@@ -285,15 +344,24 @@ func (s *Server) pushInvalidations(st *connState) {
 	}
 }
 
-// workerScratch is one resolver goroutine's reusable state: the decode
-// target and the path/results buffers resolution fills. Workers never
-// share a scratch, so steady-state serving touches the allocator only
-// where gob itself does (the exempt decode/encode calls below — the PR 9
-// binary codec's target).
+// workerScratch is one resolver goroutine's reusable state: the frame
+// and decode buffers a request is parsed into, and the path/results
+// buffers resolution fills. Workers never share a scratch, so with the
+// binary codec steady-state serving touches the allocator not at all —
+// every buffer reaches its high-water mark and is reused, and the
+// intern table absorbs the connection's recurring names.
 type workerScratch struct {
 	req     request
 	path    core.Path
 	results []result
+	// Binary-codec decode state: the raw frame (filled under dtoken,
+	// parsed after release, so workers parse in parallel), the backing
+	// arrays for the decoded request's Path/Paths, and the intern table
+	// for its strings.
+	frame    []byte
+	reqPath  []string
+	reqPaths [][]string
+	names    strIntern
 }
 
 // serveRequests is one worker in a connection's leader/followers pool:
@@ -307,21 +375,39 @@ type workerScratch struct {
 //namingvet:allocfree
 func (s *Server) serveRequests(st *connState) {
 	var sc workerScratch
+	// Declared outside the loop: resp's address reaches respond, so an
+	// in-loop declaration heap-allocates every request. Every iteration
+	// overwrites it wholesale before use.
+	var resp response
 	for {
 		st.dtoken <- struct{}{}
-		// Zero the scratch before reuse: gob merges into an existing value,
-		// so a field the next message omits would leak the previous one.
-		sc.req = request{}
-		// An idle read blocks until the peer speaks; Close unblocks it by
-		// closing the conn (conndeadline's idle-loop exemption knows this).
-		//namingvet:allocfree-exempt -- gob decode allocates until the binary codec lands
-		err := st.dec.Decode(&sc.req)
-		<-st.dtoken
+		var err error
+		if st.codec == CodecBinary {
+			// Read the raw frame under the token, parse it after release:
+			// the stream stays single-streamed while workers parse (and
+			// resolve) in parallel. An idle read blocks until the peer
+			// speaks; Close unblocks it by closing the conn.
+			var body []byte
+			body, err = readFrame(st.br, &sc.frame)
+			<-st.dtoken
+			if err == nil {
+				err = parseRequest(body, &sc.req, &sc)
+			}
+		} else {
+			// Zero the scratch before reuse: gob merges into an existing
+			// value, so a field the next message omits would leak the
+			// previous one.
+			sc.req = request{}
+			// An idle read blocks until the peer speaks; Close unblocks it by
+			// closing the conn (conndeadline's idle-loop exemption knows this).
+			//namingvet:allocfree-exempt -- legacy gob codec, selectable for one release
+			err = st.dec.Decode(&sc.req)
+			<-st.dtoken
+		}
 		if err != nil {
-			st.die() // EOF or broken peer; drain the rest of the pool
+			st.die() // EOF, broken peer, or torn frame; drain the rest of the pool
 			return
 		}
-		var resp response
 		if sc.req.Subscribe {
 			// Subscription needs the connection identity, so it is handled
 			// here rather than in handle. From the moment the connection
@@ -362,8 +448,16 @@ func (s *Server) respond(st *connState, resp *response) {
 		st.wdeadline = now.Add(serveWriteTimeout)
 		_ = st.conn.SetWriteDeadline(st.wdeadline)
 	}
-	//namingvet:allocfree-exempt -- gob encode allocates until the binary codec lands
-	err := st.enc.Encode(resp)
+	var err error
+	if st.codec == CodecBinary {
+		// Append-encode into the token-guarded scratch: the response's
+		// bytes are built and written with zero heap traffic.
+		st.wbuf = appendResponse(st.wbuf[:0], resp)
+		err = writeFrame(st.bw, st.wbuf)
+	} else {
+		//namingvet:allocfree-exempt -- legacy gob codec, selectable for one release
+		err = st.enc.Encode(resp)
+	}
 	if rem := st.wq.Add(-1); err == nil && rem == 0 {
 		// Flush at the message boundary: gob alone issues several small
 		// writes per message, each a syscall on a real conn.

@@ -13,10 +13,17 @@ import (
 func populated() map[string]any {
 	return map[string]any{
 		"request": request{
-			ID:     11,
-			Path:   []string{"usr", "alice", "bin"},
-			Paths:  [][]string{{"a"}, {"b", "c"}},
-			Routes: true,
+			ID:         11,
+			Path:       []string{"usr", "alice", "bin"},
+			Paths:      [][]string{{"a"}, {"b", "c"}},
+			Routes:     true,
+			Subscribe:  true,
+			Op:         OpBind,
+			Name:       "ls",
+			Target:     88,
+			TargetKind: 2,
+			AtRev:      41,
+			Twin:       17,
 		},
 		"result": result{
 			ID:   42,
